@@ -1,0 +1,298 @@
+package webharmony
+
+import (
+	"testing"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/db"
+	"webharmony/internal/harmony"
+	"webharmony/internal/param"
+	"webharmony/internal/rng"
+	"webharmony/internal/simplex"
+	"webharmony/internal/stats"
+	"webharmony/internal/tpcw"
+	"webharmony/internal/websim"
+)
+
+// benchLab is the setup used by the experiment benchmarks: the quick-scale
+// cluster (each full experiment below runs in seconds rather than the
+// paper's multi-hour wall-clock).
+func benchLab() LabConfig { return QuickLab() }
+
+// --- Table 1: TPC-W workload mixes -----------------------------------------
+
+// BenchmarkTable1MixGeneration draws interactions from each Table 1 mix;
+// the mix percentages themselves are verified by the tpcw test suite.
+func BenchmarkTable1MixGeneration(b *testing.B) {
+	samplers := make([]*tpcw.Sampler, 0, 3)
+	for i, w := range Workloads() {
+		samplers = append(samplers, tpcw.NewSampler(w, rng.New(uint64(i)+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samplers[i%len(samplers)].Next()
+	}
+}
+
+// --- Figure 3: simplex method steps -----------------------------------------
+
+// BenchmarkFigure3SimplexStep measures one ask/tell cycle of the adapted
+// Nelder-Mead kernel on a Table 3-sized (23-parameter) space.
+func BenchmarkFigure3SimplexStep(b *testing.B) {
+	var defs []param.Def
+	for _, t := range cluster.Tiers() {
+		defs = append(defs, websim.SpaceFor(t).Defs()...)
+	}
+	for i := range defs {
+		defs[i].Name = defs[i].Name + string(rune('a'+i%26)) // dedupe
+	}
+	sp := param.MustSpace(defs...)
+	nm := simplex.NewNelderMead(sp, simplex.Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := nm.Ask()
+		nm.Tell(float64(cfg[0]))
+	}
+}
+
+// --- §III.A: single-workload tuning -----------------------------------------
+
+// BenchmarkSection3ATuningIteration measures one complete tuning iteration
+// (restart + warm + measure + cool + simplex update) on the 4-machine lab.
+func BenchmarkSection3ATuningIteration(b *testing.B) {
+	lab := NewLab(benchLab(), Browsing)
+	st := harmony.NewStrategy(harmony.StrategyDefault, lab, 0, harmony.Options{Seed: 1})
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		last = st.Step()
+	}
+	b.ReportMetric(last, "WIPS")
+}
+
+// BenchmarkSection3A reproduces the §III.A browsing and ordering numbers.
+func BenchmarkSection3A(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range []Workload{Browsing, Ordering} {
+			res := TuneWorkload(benchLab(), w, 100, 8, harmony.Options{Seed: 7})
+			b.ReportMetric(100*res.AvgImprovement, w.String()+"_improvement_%")
+			b.ReportMetric(100*res.FracBetter, w.String()+"_beats_default_%")
+		}
+	}
+}
+
+// --- Figure 4 + Table 3: cross-workload configurations ----------------------
+
+// BenchmarkFigure4CrossWorkload reproduces the Figure 4 matrix (and the
+// Table 3 tuned configurations, printed under -v).
+func BenchmarkFigure4CrossWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunFigure4(benchLab(), 80, 6, harmony.Options{Seed: 4})
+		for _, w := range Workloads() {
+			b.ReportMetric(100*res.Improvement[w], w.String()+"_improvement_%")
+		}
+		if i == 0 {
+			b.Logf("Figure 4 matrix: %v (defaults %v)", res.Matrix, res.Default)
+		}
+	}
+}
+
+// BenchmarkTable3FullTuning measures the full 23-parameter tuning run that
+// produces one column of Table 3 (200 iterations, as in the paper).
+func BenchmarkTable3FullTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := TuneWorkload(benchLab(), Shopping, 200, 6, harmony.Options{Seed: 9})
+		b.ReportMetric(res.BestWIPS, "best_WIPS")
+		if i == 0 {
+			for tier, cfg := range res.BestConfigs {
+				b.Logf("Table 3 shopping column, %v tier: %v", tier, cfg)
+			}
+		}
+	}
+}
+
+// --- Figure 5: responsiveness to workload changes ---------------------------
+
+// BenchmarkFigure5Responsiveness reproduces the changing-workload run.
+func BenchmarkFigure5Responsiveness(b *testing.B) {
+	seq := []Workload{Browsing, Shopping, Ordering}
+	for i := 0; i < b.N; i++ {
+		res := RunFigure5(benchLab(), seq, 25, 4,
+			harmony.Options{Seed: 5, ShiftFactor: 0.25})
+		sum := 0
+		for _, r := range res.Recovery {
+			sum += r
+		}
+		if len(res.Recovery) > 0 {
+			b.ReportMetric(float64(sum)/float64(len(res.Recovery)), "recovery_iters")
+		}
+	}
+}
+
+// --- Table 4: cluster tuning methods -----------------------------------------
+
+// BenchmarkTable4ClusterTuning reproduces the Table 4 method comparison on
+// the 2/2/2 cluster.
+func BenchmarkTable4ClusterTuning(b *testing.B) {
+	cfg := benchLab()
+	cfg.Browsers = 400
+	for i := 0; i < b.N; i++ {
+		res := RunTable4(cfg, 100, harmony.Options{Seed: 5})
+		for _, r := range res.Rows {
+			if r.Method == "none" {
+				continue
+			}
+			b.ReportMetric(100*r.Improvement, r.Method+"_improvement_%")
+			b.ReportMetric(float64(r.Iterations), r.Method+"_iters")
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				b.Logf("Table 4: %-13s WIPS=%.1f σ=%.1f imp=%.1f%% iters=%d",
+					r.Method, r.WIPS, r.StdDev, 100*r.Improvement, r.Iterations)
+			}
+		}
+	}
+}
+
+// --- Figure 7: automatic reconfiguration -------------------------------------
+
+func benchFig7Lab() LabConfig {
+	cfg := benchLab()
+	cfg.Browsers = 600
+	return cfg
+}
+
+// BenchmarkFigure7aReconfiguration reproduces Figure 7(a): a proxy node
+// moves to the application tier when the workload turns to ordering.
+func BenchmarkFigure7aReconfiguration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunFigure7(benchFig7Lab(), Figure7a())
+		if !res.Moved {
+			b.Fatal("reconfiguration did not trigger")
+		}
+		b.ReportMetric(100*res.Improvement, "improvement_%")
+	}
+}
+
+// BenchmarkFigure7bReconfiguration reproduces Figure 7(b): an application
+// node moves to the proxy tier under a browsing workload.
+func BenchmarkFigure7bReconfiguration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunFigure7(benchFig7Lab(), Figure7b())
+		if !res.Moved {
+			b.Fatal("reconfiguration did not trigger")
+		}
+		b.ReportMetric(100*res.Improvement, "improvement_%")
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ----------------------
+
+// BenchmarkAblationTunerAlgorithms compares the simplex kernel against the
+// random and coordinate baselines on the same tuning problem.
+func BenchmarkAblationTunerAlgorithms(b *testing.B) {
+	algos := []struct {
+		name string
+		algo harmony.Algorithm
+	}{
+		{"nelder-mead", harmony.AlgoNelderMead},
+		{"random", harmony.AlgoRandom},
+		{"coordinate", harmony.AlgoCoordinate},
+	}
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab := NewLab(benchLab(), Shopping)
+				st := harmony.NewStrategy(harmony.StrategyDuplication, lab, 0,
+					harmony.Options{Algorithm: a.algo, Seed: 3})
+				for k := 0; k < 50; k++ {
+					st.Step()
+				}
+				best, _ := st.Best()
+				b.ReportMetric(best, "best_WIPS")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExtremeValueGuard compares tuning with and without the
+// §III.A extreme-value guard.
+func BenchmarkAblationExtremeValueGuard(b *testing.B) {
+	for _, guard := range []float64{0, 0.3} {
+		name := "off"
+		if guard > 0 {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab := NewLab(benchLab(), Browsing)
+				st := harmony.NewStrategy(harmony.StrategyDuplication, lab, 0,
+					harmony.Options{Seed: 8, GuardFactor: guard})
+				for k := 0; k < 50; k++ {
+					st.Step()
+				}
+				perf := st.Perf()
+				b.ReportMetric(stats.StdDevOf(perf[len(perf)/2:]), "second_half_stddev")
+				best, _ := st.Best()
+				b.ReportMetric(best, "best_WIPS")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemoryCoupling quantifies the shared-memory coupling: a
+// memory-hungry database configuration vs the default on the same load.
+func BenchmarkAblationMemoryCoupling(b *testing.B) {
+	dsp := db.Space()
+	bloated := dsp.DefaultConfig()
+	bloated[dsp.IndexOf(db.ParamThreadConcurrency)] = 128
+	bloated[dsp.IndexOf(db.ParamJoinBufferSize)] = 16777216
+	bloated[dsp.IndexOf(db.ParamThreadStack)] = 2097152
+	bloated[dsp.IndexOf(db.ParamMaxConnections)] = 1001
+	for _, tc := range []struct {
+		name string
+		cfg  param.Config
+	}{{"default", dsp.DefaultConfig()}, {"overcommitted", bloated}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab := NewLab(benchLab(), Shopping)
+				lab.Sys.SetTierConfig(cluster.TierDB, tc.cfg)
+				m := lab.MeasureIteration(true)
+				b.ReportMetric(m.WIPS, "WIPS")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybridStrategy measures the §III.B future-work hybrid
+// (duplication then partitioning) against plain duplication.
+func BenchmarkAblationHybridStrategy(b *testing.B) {
+	cfg := benchLab()
+	cfg.Browsers = 400
+	cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes = 2, 2, 2
+	cfg.WorkLines = 2
+	for _, kind := range []harmony.StrategyKind{harmony.StrategyDuplication, harmony.StrategyHybrid} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab := NewLab(cfg, Shopping)
+				st := harmony.NewStrategy(kind, lab, 2, harmony.Options{Seed: 6})
+				for k := 0; k < 60; k++ {
+					st.Step()
+				}
+				best, _ := st.Best()
+				b.ReportMetric(best, "best_WIPS")
+			}
+		})
+	}
+}
+
+// BenchmarkFullIterationThroughput measures raw simulator speed: simulated
+// seconds per wall second on the standard 4-machine lab.
+func BenchmarkFullIterationThroughput(b *testing.B) {
+	lab := NewLab(benchLab(), Shopping)
+	lab.Driver.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab.Sys.Eng.RunUntil(lab.Sys.Eng.Now() + 1) // one simulated second
+	}
+}

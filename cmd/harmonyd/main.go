@@ -1,0 +1,45 @@
+// Command harmonyd runs a standalone Active Harmony tuning server speaking
+// the JSON-lines protocol of internal/hproto over TCP.
+//
+// Applications (or the examples/remote-tuning client) register their
+// tunable parameters, then alternate next/report requests; the server runs
+// the adapted Nelder-Mead simplex per session:
+//
+//	{"op":"register","session":"web","params":[{"name":"threads","min":1,"max":512,"default":20,"step":1}]}
+//	{"op":"next","session":"web"}
+//	{"op":"report","session":"web","perf":118.2}
+//	{"op":"best","session":"web"}
+//
+// Usage:
+//
+//	harmonyd [-addr 127.0.0.1:7779]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"webharmony/internal/hproto"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7779", "listen address")
+	flag.Parse()
+
+	srv, err := hproto.NewServer(*addr)
+	if err != nil {
+		log.Fatalf("harmonyd: %v", err)
+	}
+	fmt.Printf("harmonyd listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("harmonyd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("harmonyd: close: %v", err)
+	}
+}

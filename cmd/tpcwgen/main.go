@@ -1,0 +1,117 @@
+// Command tpcwgen inspects the TPC-W workload generator: it prints the
+// Table 1 mixes, verifies that sampled traffic matches them, and can dump
+// a trace of emulated-browser page requests.
+//
+// Usage:
+//
+//	tpcwgen mix                  print Table 1
+//	tpcwgen [-n 100000] verify   sample interactions and compare to Table 1
+//	tpcwgen [-n 20] trace        print a page-request trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"webharmony"
+	"webharmony/internal/rng"
+	"webharmony/internal/tpcw"
+	"webharmony/internal/webobj"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 0, "sample size (verify) or trace length (trace)")
+		workload = flag.String("workload", "shopping", "workload: browsing, shopping or ordering")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		scale    = flag.Int("scale", 10000, "TPC-W scale factor (items)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tpcwgen [flags] <mix|verify|trace>")
+		os.Exit(2)
+	}
+	w, ok := parseWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tpcwgen: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	switch flag.Arg(0) {
+	case "mix":
+		webharmony.PrintTable1(os.Stdout)
+	case "verify":
+		samples := *n
+		if samples == 0 {
+			samples = 100000
+		}
+		verify(w, samples, *seed)
+	case "trace":
+		length := *n
+		if length == 0 {
+			length = 20
+		}
+		trace(w, length, *seed, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "tpcwgen: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func parseWorkload(s string) (tpcw.Workload, bool) {
+	for _, w := range tpcw.Workloads() {
+		if w.String() == s {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+func verify(w tpcw.Workload, n int, seed uint64) {
+	s := tpcw.NewSampler(w, rng.New(seed))
+	var counts [tpcw.NumInteractions]int
+	for i := 0; i < n; i++ {
+		counts[s.Next()]++
+	}
+	mix := tpcw.Mix(w)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Interaction\tTable 1\tSampled (n=%d)\tDelta\n", n)
+	worst := 0.0
+	for i := 0; i < tpcw.NumInteractions; i++ {
+		got := float64(counts[i]) / float64(n) * 100
+		delta := got - mix[i]
+		if math.Abs(delta) > worst {
+			worst = math.Abs(delta)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f %%\t%.2f %%\t%+.2f\n", tpcw.Interaction(i), mix[i], got, delta)
+	}
+	tw.Flush()
+	fmt.Printf("largest deviation: %.2f percentage points\n", worst)
+}
+
+func trace(w tpcw.Workload, n int, seed uint64, scale int) {
+	src := rng.New(seed)
+	cat := webobj.NewCatalog(scale, seed)
+	gen := tpcw.NewPageGen(cat, src.Split(1))
+	s := tpcw.NewSampler(w, src.Split(2))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tInteraction\tClass\tHTML\tDB\tImages\tPage bytes")
+	for i := 0; i < n; i++ {
+		pr := gen.Page(s.Next(), i%100)
+		total := pr.HTML.Size
+		for _, img := range pr.Images {
+			total += img.Size
+		}
+		kind := "dynamic"
+		if pr.Profile.Static {
+			kind = "static"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s %dB\t%s\t%d\t%d\n",
+			i+1, pr.Interaction, pr.Interaction.Class(), kind, pr.HTML.Size,
+			pr.Profile.DB, len(pr.Images), total)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,233 @@
+// Command webtune regenerates the tables and figures of "Automated
+// Cluster-Based Web Service Performance Tuning" (HPDC 2004) on the
+// simulated cluster.
+//
+// Usage:
+//
+//	webtune [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    TPC-W workload mixes
+//	sec3a     §III.A single-workload tuning statistics
+//	figure4   cross-workload configuration matrix
+//	table3    tuned parameter values per workload
+//	figure5   responsiveness to changing workloads
+//	table4    cluster tuning methods (default/duplication/partitioning)
+//	figure7a  reconfiguration: proxy node → application tier
+//	figure7b  reconfiguration: application node → proxy tier
+//	adaptive  the full §IV loop: tuning + periodic reconfiguration
+//	all       everything above
+//
+// Flags select the scale (-scale quick|standard|paper), iteration counts
+// and the random seed; see -help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"webharmony"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "quick", "experiment scale: quick, standard or paper")
+		iters    = flag.Int("iters", 0, "tuning iterations (0 = per-scale default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		guard    = flag.Float64("guard", 0, "extreme-value guard factor (0 disables)")
+		outDir   = flag.String("out", "", "also write results as JSON and CSV into this directory")
+		sessions = flag.Bool("sessions", false, "drive browsers through the TPC-W session graph")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg, defIters := labFor(*scale)
+	cfg.Seed = *seed
+	cfg.Sessions = *sessions
+	n := *iters
+	if n == 0 {
+		n = defIters
+	}
+	opts := webharmony.TunerOptions{Seed: *seed, GuardFactor: *guard}
+
+	what := flag.Arg(0)
+	run := func(name string, fn func()) {
+		if what != name && what != "all" {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		fn()
+		fmt.Printf("--- %s done in %.1fs ---\n\n", name, time.Since(start).Seconds())
+	}
+
+	known := map[string]bool{"table1": true, "sec3a": true, "figure4": true, "table3": true,
+		"figure5": true, "table4": true, "figure7a": true, "figure7b": true,
+		"adaptive": true, "all": true}
+	if !known[what] {
+		fmt.Fprintf(os.Stderr, "webtune: unknown experiment %q\n", what)
+		os.Exit(2)
+	}
+
+	run("table1", func() { webharmony.PrintTable1(os.Stdout) })
+
+	run("sec3a", func() {
+		for _, w := range []webharmony.Workload{webharmony.Browsing, webharmony.Ordering} {
+			res := webharmony.TuneWorkload(cfg, w, n, max(6, n/10), opts)
+			webharmony.PrintSection3A(os.Stdout, res)
+		}
+	})
+
+	var fig4 *webharmony.Figure4Result
+	ensureFig4 := func() *webharmony.Figure4Result {
+		if fig4 == nil {
+			fig4 = webharmony.RunFigure4(cfg, n, max(5, n/12), opts)
+		}
+		return fig4
+	}
+	run("figure4", func() {
+		res := ensureFig4()
+		webharmony.PrintFigure4(os.Stdout, res)
+		export(*outDir, "figure4", res, func(w io.Writer) error {
+			return webharmony.WriteFigure4CSV(w, res)
+		})
+	})
+	run("table3", func() { webharmony.PrintTable3(os.Stdout, ensureFig4()) })
+
+	run("figure5", func() {
+		seq := []webharmony.Workload{webharmony.Browsing, webharmony.Shopping, webharmony.Ordering}
+		phase := max(10, n/4)
+		shiftOpts := opts
+		shiftOpts.ShiftFactor = 0.25
+		res := webharmony.RunFigure5(cfg, seq, phase, 4, shiftOpts)
+		webharmony.PrintFigure5(os.Stdout, res)
+		export(*outDir, "figure5", res, func(w io.Writer) error {
+			return webharmony.WriteFigure5CSV(w, res)
+		})
+	})
+
+	run("table4", func() {
+		c := cfg
+		c.Browsers = cfg.Browsers * 5 / 2 // 6-node cluster, larger population
+		res := webharmony.RunTable4(c, n, opts)
+		webharmony.PrintTable4(os.Stdout, res)
+		export(*outDir, "table4", res, func(w io.Writer) error {
+			return webharmony.WriteTable4CSV(w, res)
+		})
+	})
+
+	fig7cfg := cfg
+	fig7cfg.Browsers = cfg.Browsers * 7 / 2 // the 7-node cluster serves ~3.5x the clients
+	if fig7cfg.Warm < 12 {
+		fig7cfg.Warm = 12 // re-warm caches fully after each restart
+	}
+	runFig7 := func(name string, fo webharmony.Figure7Options) {
+		res := webharmony.RunFigure7(fig7cfg, fo)
+		webharmony.PrintFigure7(os.Stdout, res)
+		export(*outDir, name, res, func(w io.Writer) error {
+			return webharmony.WriteFigure7CSV(w, res)
+		})
+		if *outDir != "" && res.Timeline != nil {
+			f, err := os.Create(filepath.Join(*outDir, name+"-utilization.csv"))
+			if err == nil {
+				defer f.Close()
+				if err := res.Timeline.WriteCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+				}
+			}
+		}
+	}
+	run("figure7a", func() { runFig7("figure7a", webharmony.Figure7a()) })
+	run("figure7b", func() { runFig7("figure7b", webharmony.Figure7b()) })
+
+	run("adaptive", func() {
+		// The full §IV loop: tuning every iteration, reconfiguration
+		// checks at a lower frequency, on a mis-provisioned cluster.
+		c := fig7cfg
+		c.ProxyNodes, c.AppNodes, c.DBNodes = 2, 4, 1
+		if c.Warm < 12 {
+			c.Warm = 12
+		}
+		lab := webharmony.NewLab(c, webharmony.Browsing)
+		res := webharmony.RunAdaptive(lab, 24, webharmony.AdaptiveOptions{
+			Strategy:      webharmony.StrategyDuplication,
+			Tuner:         opts,
+			ReconfigEvery: 8,
+		})
+		for i, w := range res.WIPS {
+			marker := ""
+			for _, mv := range res.Moves {
+				if mv.Iteration == i {
+					marker = "   <- " + mv.Decision.String()
+				}
+			}
+			fmt.Printf("iter %2d  layout %s  %7.1f WIPS%s\n", i+1, res.Layouts[i], w, marker)
+		}
+		export(*outDir, "adaptive", res, nil)
+	})
+}
+
+// labFor maps a scale name to a lab configuration and default iterations.
+func labFor(scale string) (webharmony.LabConfig, int) {
+	switch scale {
+	case "quick":
+		return webharmony.QuickLab(), 80
+	case "standard":
+		return webharmony.StandardLab(), 200
+	case "paper":
+		return webharmony.PaperLab(), 200
+	default:
+		fmt.Fprintf(os.Stderr, "webtune: unknown scale %q\n", scale)
+		os.Exit(2)
+		return webharmony.LabConfig{}, 0
+	}
+}
+
+// export writes a result as <dir>/<name>.json and, when csv is non-nil,
+// <dir>/<name>.csv. A missing -out directory disables export.
+func export(dir, name string, result any, csv func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		return
+	}
+	jf, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		return
+	}
+	defer jf.Close()
+	if err := webharmony.WriteJSON(jf, result); err != nil {
+		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+	}
+	if csv == nil {
+		return
+	}
+	cf, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		return
+	}
+	defer cf.Close()
+	if err := csv(cf); err != nil {
+		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

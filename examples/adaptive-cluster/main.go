@@ -1,0 +1,52 @@
+// Adaptive cluster: the complete Active Harmony loop from §IV of the
+// paper — parameter tuning every iteration and, at a lower frequency, the
+// automatic reconfiguration check. The cluster starts mis-provisioned
+// (2 proxies, 4 application servers) under a browsing workload; the tuner
+// improves the parameters it can, and the reconfiguration algorithm fixes
+// what parameters cannot: the tier imbalance.
+//
+// Run with:
+//
+//	go run ./examples/adaptive-cluster
+package main
+
+import (
+	"fmt"
+
+	"webharmony"
+)
+
+func main() {
+	cfg := webharmony.QuickLab()
+	cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes = 2, 4, 1
+	cfg.Browsers = 600
+	cfg.Warm = 12
+	cfg.Seed = 3
+
+	lab := webharmony.NewLab(cfg, webharmony.Browsing)
+	fmt.Printf("starting layout: %s (proxy/app/db), browsing workload\n\n", lab.Sys.Cluster.Layout())
+
+	res := webharmony.RunAdaptive(lab, 24, webharmony.AdaptiveOptions{
+		Strategy:      webharmony.StrategyDuplication,
+		Tuner:         webharmony.TunerOptions{Seed: 3},
+		ReconfigEvery: 8,
+		MaxMoves:      1,
+	})
+
+	for i, w := range res.WIPS {
+		marker := ""
+		for _, mv := range res.Moves {
+			if mv.Iteration == i {
+				marker = "   <- " + mv.Decision.String()
+			}
+		}
+		fmt.Printf("iter %2d  layout %s  %6.1f WIPS%s\n", i+1, res.Layouts[i], w, marker)
+	}
+
+	if len(res.Moves) == 0 {
+		fmt.Println("\nno reconfiguration was needed")
+		return
+	}
+	fmt.Printf("\nthe reconfiguration algorithm executed: %v\n", res.Moves[0].Decision)
+	fmt.Println("parameter tuning continued on the new layout without stopping the service.")
+}

@@ -1,0 +1,35 @@
+// Quickstart: tune the simulated TPC-W cluster for the shopping mix and
+// compare against the default configuration.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"webharmony"
+)
+
+func main() {
+	cfg := webharmony.QuickLab() // 1 proxy / 1 app / 1 db, short windows
+	cfg.Seed = 42
+
+	fmt.Println("Tuning the shopping workload for 40 iterations...")
+	res := webharmony.TuneWorkload(cfg, webharmony.Shopping, 40, 6,
+		webharmony.TunerOptions{Seed: 42})
+
+	webharmony.PrintSection3A(os.Stdout, res)
+
+	fmt.Println("\nBest per-tier configurations found:")
+	lab := webharmony.NewLab(cfg, webharmony.Shopping)
+	for _, spec := range lab.Tiers() {
+		for tier, c := range res.BestConfigs {
+			if tier.String() == spec.Name {
+				webharmony.PrintConfig(os.Stdout, spec.Name, c.Map(spec.Space))
+			}
+		}
+	}
+}

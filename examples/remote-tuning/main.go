@@ -1,0 +1,81 @@
+// Remote tuning over the Active Harmony wire protocol: this example plays
+// both sides — it starts an in-process tuning server (the same code as
+// cmd/harmonyd) and a "legacy application" client whose two knobs (worker
+// threads and a cache size) it cannot model, only measure. The client
+// registers the knobs, then loops fetch-configuration / measure / report,
+// exactly like the paper's modified Squid and Tomcat.
+//
+// Run with:
+//
+//	go run ./examples/remote-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"webharmony/internal/hproto"
+	"webharmony/internal/param"
+)
+
+// appPerformance is the hidden response surface of the "application":
+// throughput peaks at 48 worker threads and a 192 MB cache, with a penalty
+// when threads × cache overcommits memory.
+func appPerformance(threads, cacheMB int64) float64 {
+	t := float64(threads)
+	c := float64(cacheMB)
+	perf := 500 - math.Abs(t-48)*3 - math.Abs(c-192)*0.5
+	if mem := t*4 + c; mem > 512 { // thrashing
+		perf -= (mem - 512) * 2
+	}
+	return perf
+}
+
+func main() {
+	srv, err := hproto.NewServer("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("tuning server listening on %s\n", srv.Addr())
+
+	client, err := hproto.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	defs := []param.Def{
+		{Name: "worker_threads", Min: 1, Max: 256, Default: 16, Step: 1},
+		{Name: "cache_mb", Min: 16, Max: 1024, Default: 64, Step: 16},
+	}
+	if err := client.Register("legacy-app", defs, "nelder-mead", 11); err != nil {
+		log.Fatal(err)
+	}
+
+	defaultPerf := appPerformance(16, 64)
+	fmt.Printf("default configuration: threads=16 cache=64MB → %.1f req/s\n\n", defaultPerf)
+
+	for i := 1; i <= 60; i++ {
+		_, values, err := client.Next("legacy-app")
+		if err != nil {
+			log.Fatal(err)
+		}
+		perf := appPerformance(values["worker_threads"], values["cache_mb"])
+		if err := client.Report("legacy-app", perf); err != nil {
+			log.Fatal(err)
+		}
+		if i%10 == 0 {
+			fmt.Printf("iteration %2d: threads=%-3d cache=%-4dMB → %.1f req/s\n",
+				i, values["worker_threads"], values["cache_mb"], perf)
+		}
+	}
+
+	cfg, perf, have, err := client.Best("legacy-app")
+	if err != nil || !have {
+		log.Fatalf("no best configuration: %v", err)
+	}
+	fmt.Printf("\nbest after 60 iterations: threads=%d cache=%dMB → %.1f req/s (%+.0f%% vs default)\n",
+		cfg[0], cfg[1], perf, 100*(perf-defaultPerf)/defaultPerf)
+}

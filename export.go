@@ -1,0 +1,35 @@
+package webharmony
+
+import (
+	"io"
+
+	"webharmony/internal/core"
+)
+
+// WriteJSON serializes any experiment result as indented JSON.
+func WriteJSON(w io.Writer, result any) error { return core.WriteJSON(w, result) }
+
+// WriteFigure4CSV writes the Figure 4 cross-workload matrix as CSV.
+func WriteFigure4CSV(w io.Writer, res *Figure4Result) error {
+	return core.WriteFigure4CSV(w, res)
+}
+
+// WriteFigure5CSV writes the Figure 5 responsiveness series as CSV.
+func WriteFigure5CSV(w io.Writer, res *Figure5Result) error {
+	return core.WriteFigure5CSV(w, res)
+}
+
+// WriteTable4CSV writes the Table 4 method comparison as CSV.
+func WriteTable4CSV(w io.Writer, res *Table4Result) error {
+	return core.WriteTable4CSV(w, res)
+}
+
+// WriteFigure7CSV writes a Figure 7 reconfiguration run as CSV.
+func WriteFigure7CSV(w io.Writer, res *Figure7Result) error {
+	return core.WriteFigure7CSV(w, res)
+}
+
+// WriteSeriesCSV writes an iteration-indexed series as CSV.
+func WriteSeriesCSV(w io.Writer, name string, series []float64) error {
+	return core.WriteSeriesCSV(w, name, series)
+}

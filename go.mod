@@ -1,0 +1,3 @@
+module webharmony
+
+go 1.22

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/harmony"
+	"webharmony/internal/monitor"
+	"webharmony/internal/param"
+	"webharmony/internal/reconfig"
+	"webharmony/internal/stats"
+	"webharmony/internal/tpcw"
+	"webharmony/internal/websim"
+)
+
+// SingleWorkloadResult is the §III.A experiment: tune one workload on the
+// 4-machine setup and compare against the default configuration.
+type SingleWorkloadResult struct {
+	Workload tpcw.Workload
+	Baseline []float64 // WIPS of repeated default-configuration iterations
+	Tuning   []float64 // WIPS per tuning iteration
+
+	BestConfigs map[cluster.Tier]param.Config
+	BestWIPS    float64
+
+	// Second-half statistics, as reported in §III.A.
+	AvgImprovement float64 // mean(second half) / mean(baseline) − 1
+	FracBetter     float64 // fraction of second-half iterations above baseline
+}
+
+// TuneWorkload runs the §III.A single-workload tuning experiment: iters
+// tuning iterations with a single Harmony server over all parameters of
+// the 1/1/1 cluster, plus baselineIters unturned iterations for reference.
+func TuneWorkload(cfg LabConfig, w tpcw.Workload, iters, baselineIters int, opts harmony.Options) *SingleWorkloadResult {
+	res := &SingleWorkloadResult{Workload: w}
+
+	// Baseline: the default configuration, measured repeatedly.
+	base := NewLab(cfg, w)
+	res.Baseline = base.MeasureConfig(DefaultConfigs(), baselineIters)
+
+	// Tuning run on a fresh, identically-seeded lab.
+	lab := NewLab(cfg, w)
+	st := harmony.NewStrategy(harmony.StrategyDefault, lab, 0, opts)
+	for i := 0; i < iters; i++ {
+		st.Step()
+	}
+	res.Tuning = st.Perf()
+	res.BestWIPS, _ = st.Best()
+	res.BestConfigs = tierConfigs(lab, st.BestNodeConfigs())
+
+	baseMean := stats.MeanOf(res.Baseline)
+	half := res.Tuning[len(res.Tuning)/2:]
+	res.AvgImprovement = stats.Improvement(baseMean, stats.MeanOf(half))
+	res.FracBetter = stats.FractionAbove(half, baseMean)
+	return res
+}
+
+// tierConfigs reduces a node→config map to one configuration per tier
+// (nodes of a tier share the configuration under the strategies used
+// here; the first node of the tier is taken as representative).
+func tierConfigs(lab *Lab, nodeCfgs map[int]param.Config) map[cluster.Tier]param.Config {
+	out := make(map[cluster.Tier]param.Config)
+	for _, t := range cluster.Tiers() {
+		nodes := lab.Sys.Cluster.TierNodes(t)
+		if len(nodes) == 0 {
+			continue
+		}
+		if cfg, ok := nodeCfgs[nodes[0].ID()]; ok {
+			out[t] = cfg
+		}
+	}
+	return out
+}
+
+// Figure4Result is the cross-workload configuration matrix of Figure 4.
+type Figure4Result struct {
+	// Matrix[i][j] is the WIPS of workload j running under the best
+	// configuration tuned for workload i (Table 1 order).
+	Matrix [3][3]float64
+	// Default[j] is workload j's WIPS under the default configuration.
+	Default [3]float64
+	// Improvement[j] is Matrix[j][j] relative to Default[j] (the table
+	// under Figure 4: 15% / 16% / 5% in the paper).
+	Improvement [3]float64
+	// Best holds the tuned per-tier configurations (Table 3).
+	Best map[tpcw.Workload]map[cluster.Tier]param.Config
+	// Runs keeps the underlying tuning runs for further analysis.
+	Runs map[tpcw.Workload]*SingleWorkloadResult
+}
+
+// RunFigure4 tunes each workload for iters iterations, then applies every
+// best configuration to every workload, reproducing Figure 4 and Table 3.
+// evalIters iterations are averaged per matrix cell.
+func RunFigure4(cfg LabConfig, iters, evalIters int, opts harmony.Options) *Figure4Result {
+	res := &Figure4Result{
+		Best: make(map[tpcw.Workload]map[cluster.Tier]param.Config),
+		Runs: make(map[tpcw.Workload]*SingleWorkloadResult),
+	}
+	for _, w := range tpcw.Workloads() {
+		run := TuneWorkload(cfg, w, iters, evalIters, opts)
+		res.Runs[w] = run
+		res.Best[w] = run.BestConfigs
+		res.Default[w] = stats.MeanOf(run.Baseline)
+	}
+	for _, from := range tpcw.Workloads() {
+		for _, on := range tpcw.Workloads() {
+			lab := NewLab(cfg, on)
+			series := lab.MeasureConfig(res.Best[from], evalIters)
+			res.Matrix[from][on] = stats.MeanOf(series)
+		}
+	}
+	for _, w := range tpcw.Workloads() {
+		res.Improvement[w] = stats.Improvement(res.Default[w], res.Matrix[w][w])
+	}
+	return res
+}
+
+// Figure5Result is the workload-responsiveness experiment of Figure 5.
+type Figure5Result struct {
+	WIPS     []float64       // per iteration
+	Workload []tpcw.Workload // active workload per iteration
+	Switches []int           // iteration indices (0-based) where the workload changed
+	Recovery []int           // iterations needed to re-reach the phase's steady band
+	PhaseLen int
+	Restarts int // tuning-session restarts triggered by shift detection
+}
+
+// RunFigure5 runs tuning under a workload that changes every phaseLen
+// iterations, following seq (cycled). Shift detection should be enabled in
+// opts for the paper's responsiveness behaviour.
+func RunFigure5(cfg LabConfig, seq []tpcw.Workload, phaseLen, phases int, opts harmony.Options) *Figure5Result {
+	if len(seq) == 0 || phaseLen <= 0 || phases <= 0 {
+		panic("core: bad Figure 5 arguments")
+	}
+	lab := NewLab(cfg, seq[0])
+	st := harmony.NewStrategy(harmony.StrategyDuplication, lab, 0, opts)
+	res := &Figure5Result{PhaseLen: phaseLen}
+	for p := 0; p < phases; p++ {
+		w := seq[p%len(seq)]
+		if p > 0 {
+			lab.Driver.SetWorkload(w)
+			res.Switches = append(res.Switches, p*phaseLen)
+		}
+		for i := 0; i < phaseLen; i++ {
+			wips := st.Step()
+			res.WIPS = append(res.WIPS, wips)
+			res.Workload = append(res.Workload, w)
+		}
+	}
+	for _, sess := range st.Sessions() {
+		res.Restarts += sess.Resets()
+	}
+	// Recovery: iterations from each switch until WIPS first reaches 90%
+	// of the phase's steady level (mean of the phase's second half).
+	for _, sw := range res.Switches {
+		phase := res.WIPS[sw:min(sw+phaseLen, len(res.WIPS))]
+		steady := stats.MeanOf(phase[len(phase)/2:])
+		rec := len(phase)
+		for i, v := range phase {
+			if v >= 0.9*steady {
+				rec = i + 1
+				break
+			}
+		}
+		res.Recovery = append(res.Recovery, rec)
+	}
+	return res
+}
+
+// Table4Row is one row of Table 4 (cluster tuning methods).
+type Table4Row struct {
+	Method      string
+	WIPS        float64 // best configuration's WIPS after the run
+	StdDev      float64 // of the second half of iterations
+	Improvement float64 // vs the no-tuning baseline
+	// Iterations is the initial-exploration length of the method's widest
+	// tuning server (the paper's n+1 scalability cost): how long before
+	// tuning can take effect.
+	Iterations int
+}
+
+// Table4Result is the Table 4 comparison of cluster tuning methods.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// RunTable4 compares cluster tuning methods on a 2/2/2 cluster with two
+// work lines under the shopping mix: no tuning, the default method (one
+// server, all parameters), parameter duplication, parameter partitioning,
+// and the hybrid (§III.B future work).
+func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
+	cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes = 2, 2, 2
+	cfg.WorkLines = 2
+
+	res := &Table4Result{}
+
+	// Baseline: no tuning.
+	base := NewLab(cfg, tpcw.Shopping)
+	baseSeries := base.MeasureConfig(DefaultConfigs(), iters/4)
+	baseMean := stats.MeanOf(baseSeries)
+	res.Rows = append(res.Rows, Table4Row{
+		Method: "none",
+		WIPS:   baseMean,
+		StdDev: stats.StdDevOf(baseSeries[len(baseSeries)/2:]),
+	})
+
+	kinds := []harmony.StrategyKind{
+		harmony.StrategyDefault,
+		harmony.StrategyDuplication,
+		harmony.StrategyPartitioning,
+		harmony.StrategyHybrid,
+	}
+	for _, kind := range kinds {
+		lab := NewLab(cfg, tpcw.Shopping)
+		st := harmony.NewStrategy(kind, lab, cfg.WorkLines, opts)
+		for i := 0; i < iters; i++ {
+			st.Step()
+		}
+		best, _ := st.Best()
+		perf := st.Perf()
+		res.Rows = append(res.Rows, Table4Row{
+			Method:      kind.String(),
+			WIPS:        best,
+			StdDev:      stats.StdDevOf(perf[len(perf)/2:]),
+			Improvement: stats.Improvement(baseMean, best),
+			Iterations:  st.ExplorationIterations(),
+		})
+	}
+	return res
+}
+
+// Figure7Result is one automatic-reconfiguration experiment (Figure 7).
+type Figure7Result struct {
+	WIPS    []float64 // per iteration
+	Layouts []string  // cluster layout per iteration
+
+	Decision    reconfig.Decision
+	Moved       bool
+	MovedAt     int // iteration index (0-based) after which the move ran
+	Before      float64
+	After       float64
+	Improvement float64
+
+	// Timeline holds periodic per-node utilization samples over the whole
+	// run — the data behind the paper's utilization narrative ("the
+	// application servers are highly loaded... some proxy servers are
+	// idling"). Not serialized to JSON; use its WriteCSV.
+	Timeline *monitor.Timeline `json:"-"`
+}
+
+// Figure7Options selects the variant of the experiment.
+type Figure7Options struct {
+	ProxyNodes, AppNodes, DBNodes int
+	Start                         tpcw.Workload
+	SwitchTo                      tpcw.Workload // Start again for "no switch"
+	SwitchAt                      int           // iteration of the workload change
+	CheckAt                       int           // iteration of the reconfiguration check
+	Total                         int
+}
+
+// Figure7a returns the §IV variant (a): 4 proxy + 2 app nodes, browsing
+// changing to ordering, with the reconfiguration check after the change.
+func Figure7a() Figure7Options {
+	return Figure7Options{
+		ProxyNodes: 4, AppNodes: 2, DBNodes: 1,
+		Start: tpcw.Browsing, SwitchTo: tpcw.Ordering,
+		SwitchAt: 9, CheckAt: 12, Total: 24,
+	}
+}
+
+// Figure7b returns variant (b): 2 proxy + 4 app nodes under a browsing
+// workload throughout.
+func Figure7b() Figure7Options {
+	return Figure7Options{
+		ProxyNodes: 2, AppNodes: 4, DBNodes: 1,
+		Start: tpcw.Browsing, SwitchTo: tpcw.Browsing,
+		SwitchAt: -1, CheckAt: 12, Total: 24,
+	}
+}
+
+// GenerousConfigs returns per-tier configurations with ample thread and
+// connection capacity (memory-safe), approximating a system whose
+// parameters Harmony has already tuned. Figure 7 isolates the remaining
+// load-imbalance problem, which no parameter setting can fix.
+func GenerousConfigs() map[cluster.Tier]param.Config {
+	out := DefaultConfigs()
+	asp := websim.SpaceFor(cluster.TierApp)
+	a := out[cluster.TierApp]
+	set := func(sp *param.Space, c param.Config, name string, v int64) {
+		c[sp.IndexOf(name)] = v
+	}
+	set(asp, a, "minProcessors", 64)
+	set(asp, a, "maxProcessors", 256)
+	set(asp, a, "acceptCount", 1024)
+	set(asp, a, "AJPminProcessors", 64)
+	set(asp, a, "AJPmaxProcessors", 256)
+	set(asp, a, "AJPacceptCount", 1024)
+	set(asp, a, "bufferSize", 8192)
+	dsp := websim.SpaceFor(cluster.TierDB)
+	d := out[cluster.TierDB]
+	set(dsp, d, "max_connections", 1001)
+	set(dsp, d, "thread_con", 64)
+	set(dsp, d, "join_buffer_size", 262144)
+	set(dsp, d, "table_cache", 905)
+	set(dsp, d, "binlog_cache_size", 262144)
+	set(dsp, d, "delayed_queue_size", 4000)
+	psp := websim.SpaceFor(cluster.TierProxy)
+	p := out[cluster.TierProxy]
+	set(psp, p, "cache_mem", 64)
+	set(psp, p, "maximum_object_size_in_memory", 128)
+	return out
+}
+
+// RunFigure7 runs a reconfiguration experiment. Tier configurations are
+// held fixed at tierCfgs (nil = GenerousConfigs, approximating an already
+// parameter-tuned system) so the measured jump is attributable to the
+// topology change, as in the paper's figures.
+func RunFigure7(cfg LabConfig, fo Figure7Options, tierCfgs map[cluster.Tier]param.Config) *Figure7Result {
+	cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes = fo.ProxyNodes, fo.AppNodes, fo.DBNodes
+	lab := NewLab(cfg, fo.Start)
+	if tierCfgs == nil {
+		tierCfgs = GenerousConfigs()
+	}
+	for t, c := range tierCfgs {
+		lab.Sys.SetTierConfig(t, c)
+	}
+	lab.Sys.Restart()
+
+	res := &Figure7Result{MovedAt: -1}
+	res.Timeline = monitor.NewTimeline(lab.Sys.Eng, lab.Sys.Cluster,
+		(cfg.Warm+cfg.Measure+cfg.Cool)/2)
+	res.Timeline.Start()
+	costs := labCosts(lab)
+	for i := 0; i < fo.Total; i++ {
+		if i == fo.SwitchAt && fo.SwitchTo != fo.Start {
+			lab.Driver.SetWorkload(fo.SwitchTo)
+		}
+		m := lab.MeasureIteration(false)
+		res.WIPS = append(res.WIPS, m.WIPS)
+		res.Layouts = append(res.Layouts, lab.Sys.Cluster.Layout())
+
+		if i == fo.CheckAt && !res.Moved {
+			readings := lab.LastReadings()
+			d, ok := reconfig.Decide(readings, monitor.DefaultThresholds(), lab.Sys.Cluster,
+				costs, monitor.DefaultUrgencyOrder())
+			if ok {
+				res.Decision = d
+				res.Moved = true
+				res.MovedAt = i
+				lab.Sys.MoveNode(d.Node, d.To, tierCfgs[d.To])
+			}
+		}
+	}
+	res.Timeline.Stop()
+	if res.Moved {
+		// Compare the window just before the move (after any workload
+		// switch settled) against the post-move steady state.
+		preStart := fo.SwitchAt + 1
+		if fo.SwitchAt < 0 {
+			preStart = fo.CheckAt / 2
+		}
+		pre := res.WIPS[preStart : res.MovedAt+1]
+		post := res.WIPS[res.MovedAt+2:]
+		res.Before = stats.MeanOf(pre)
+		res.After = stats.MeanOf(post)
+		res.Improvement = stats.Improvement(res.Before, res.After)
+	}
+	return res
+}
+
+// labCosts builds the reconfiguration cost terms from live queue state.
+func labCosts(lab *Lab) reconfig.Costs {
+	c := reconfig.DefaultCosts()
+	c.Jobs = func(node int) int {
+		n := lab.Sys.Cluster.Node(node)
+		if n == nil {
+			return 0
+		}
+		return n.CPU().Busy() + n.CPU().QueueLen() + n.Disk().QueueLen() + n.NIC().QueueLen()
+	}
+	return c
+}
+
+// String helpers used by the CLI and the public API.
+
+// FormatLayoutSeries renders iteration → layout transitions compactly.
+func FormatLayoutSeries(layouts []string) string {
+	if len(layouts) == 0 {
+		return ""
+	}
+	out := layouts[0]
+	for i := 1; i < len(layouts); i++ {
+		if layouts[i] != layouts[i-1] {
+			out += fmt.Sprintf(" →(iter %d) %s", i, layouts[i])
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

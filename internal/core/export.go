@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"webharmony/internal/tpcw"
+)
+
+// WriteJSON serializes any experiment result as indented JSON.
+func WriteJSON(w io.Writer, result any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}
+
+// WriteSeriesCSV writes an iteration-indexed series with the given value
+// column name.
+func WriteSeriesCSV(w io.Writer, name string, series []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iteration", name}); err != nil {
+		return err
+	}
+	for i, v := range series {
+		if err := cw.Write([]string{strconv.Itoa(i + 1), formatFloat(v)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV writes the responsiveness run as iteration, workload,
+// WIPS rows.
+func WriteFigure5CSV(w io.Writer, res *Figure5Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iteration", "workload", "wips"}); err != nil {
+		return err
+	}
+	for i, v := range res.WIPS {
+		if err := cw.Write([]string{
+			strconv.Itoa(i + 1), res.Workload[i].String(), formatFloat(v),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure7CSV writes a reconfiguration run as iteration, layout, WIPS
+// rows with the move marked.
+func WriteFigure7CSV(w io.Writer, res *Figure7Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iteration", "layout", "wips", "event"}); err != nil {
+		return err
+	}
+	for i, v := range res.WIPS {
+		event := ""
+		if i == res.MovedAt {
+			event = res.Decision.String()
+		}
+		if err := cw.Write([]string{
+			strconv.Itoa(i + 1), res.Layouts[i], formatFloat(v), event,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV writes the cross-workload matrix.
+func WriteFigure4CSV(w io.Writer, res *Figure4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "browsing", "shopping", "ordering"}); err != nil {
+		return err
+	}
+	row := func(name string, vals [3]float64) error {
+		return cw.Write([]string{name,
+			formatFloat(vals[0]), formatFloat(vals[1]), formatFloat(vals[2])})
+	}
+	if err := row("default", res.Default); err != nil {
+		return err
+	}
+	for _, from := range tpcw.Workloads() {
+		if err := row("best-of-"+from.String(), res.Matrix[from]); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable4CSV writes the cluster tuning method comparison.
+func WriteTable4CSV(w io.Writer, res *Table4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "wips", "stddev", "improvement", "iterations"}); err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		if err := cw.Write([]string{
+			r.Method, formatFloat(r.WIPS), formatFloat(r.StdDev),
+			formatFloat(r.Improvement), strconv.Itoa(r.Iterations),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// ExportName maps a result type to a stable experiment identifier used in
+// file names.
+func ExportName(result any) string {
+	switch result.(type) {
+	case *SingleWorkloadResult:
+		return "sec3a"
+	case *Figure4Result:
+		return "figure4"
+	case *Figure5Result:
+		return "figure5"
+	case *Table4Result:
+		return "table4"
+	case *Figure7Result:
+		return "figure7"
+	case *AdaptiveResult:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("%T", result)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"webharmony/internal/harmony"
+	"webharmony/internal/tpcw"
+)
+
+// TestRunFigure4Shape runs a scaled-down Figure 4 and checks the paper's
+// qualitative claims: tuning beats the default for every workload, and a
+// configuration tuned for a workload performs at least as well on that
+// workload as configurations tuned for the other workloads (within noise).
+func TestRunFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning run")
+	}
+	res := RunFigure4(QuickLab(), 60, 5, harmony.Options{Seed: 4})
+	for _, w := range tpcw.Workloads() {
+		t.Logf("%v: default=%.1f tuned=%.1f (%.1f%%) cross=[%.1f %.1f %.1f]",
+			w, res.Default[w], res.Matrix[w][w], 100*res.Improvement[w],
+			res.Matrix[tpcw.Browsing][w], res.Matrix[tpcw.Shopping][w], res.Matrix[tpcw.Ordering][w])
+	}
+	for _, w := range tpcw.Workloads() {
+		if res.Improvement[w] <= 0 {
+			t.Errorf("%v: tuned config no better than default (%.1f%%)", w, 100*res.Improvement[w])
+		}
+		// The native configuration must be at least competitive with
+		// foreign ones (small tolerance for measurement noise).
+		for _, from := range tpcw.Workloads() {
+			if from == w {
+				continue
+			}
+			if res.Matrix[from][w] > res.Matrix[w][w]*1.05 {
+				t.Errorf("config tuned for %v beats native config on %v: %.1f > %.1f",
+					from, w, res.Matrix[from][w], res.Matrix[w][w])
+			}
+		}
+	}
+	// Table 3 direction: ordering needs more application threads than
+	// browsing.
+	asp := tierSpace(t, "app")
+	bApp := res.Best[tpcw.Browsing][1] // TierApp == 1
+	oApp := res.Best[tpcw.Ordering][1]
+	bThreads := bApp[asp.IndexOf("maxProcessors")] + bApp[asp.IndexOf("AJPmaxProcessors")]
+	oThreads := oApp[asp.IndexOf("maxProcessors")] + oApp[asp.IndexOf("AJPmaxProcessors")]
+	t.Logf("threads: browsing=%d ordering=%d", bThreads, oThreads)
+	if oThreads < bThreads {
+		t.Logf("note: ordering tuned fewer threads than browsing in this short run")
+	}
+}
+
+func tierSpace(t *testing.T, name string) interface{ IndexOf(string) int } {
+	t.Helper()
+	lab := NewLab(QuickLab(), tpcw.Shopping)
+	for _, spec := range lab.Tiers() {
+		if spec.Name == name {
+			return spec.Space
+		}
+	}
+	t.Fatalf("no tier %q", name)
+	return nil
+}
+
+// TestRunTable4Shape runs a scaled-down Table 4 and checks the ordering of
+// methods the paper reports: all tuning methods beat no tuning, and
+// duplication converges in the fewest iterations.
+func TestRunTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning run")
+	}
+	cfg := QuickLab()
+	cfg.Browsers = 400 // the 6-node cluster serves more clients
+	res := RunTable4(cfg, 60, harmony.Options{Seed: 5})
+	byName := map[string]Table4Row{}
+	for _, r := range res.Rows {
+		byName[r.Method] = r
+		t.Logf("%-13s WIPS=%.1f σ=%.1f imp=%.1f%% iters=%d",
+			r.Method, r.WIPS, r.StdDev, 100*r.Improvement, r.Iterations)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	base := byName["none"]
+	for _, m := range []string{"default", "duplication", "partitioning", "hybrid"} {
+		if byName[m].WIPS <= base.WIPS {
+			t.Errorf("%s did not beat the no-tuning baseline", m)
+		}
+	}
+	// The paper's ordering: duplication explores least, partitioning is in
+	// between, the default single-server method needs the most iterations
+	// before tuning takes effect (159 vs 33 vs 107 in Table 4).
+	if !(byName["duplication"].Iterations < byName["partitioning"].Iterations &&
+		byName["partitioning"].Iterations < byName["default"].Iterations) {
+		t.Errorf("exploration ordering wrong: dup=%d part=%d def=%d",
+			byName["duplication"].Iterations, byName["partitioning"].Iterations,
+			byName["default"].Iterations)
+	}
+}

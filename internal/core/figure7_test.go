@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+func quickFig7Lab() LabConfig {
+	cfg := QuickLab()
+	cfg.Browsers = 600 // the 6-node cluster serves a larger population
+	cfg.Warm = 12      // long enough to re-warm caches after each restart
+	return cfg
+}
+
+func TestFigure7aMovesProxyToApp(t *testing.T) {
+	fo := Figure7a()
+	res := RunFigure7(quickFig7Lab(), fo, nil)
+	t.Logf("layouts: %s", FormatLayoutSeries(res.Layouts))
+	t.Logf("decision: %v (moved=%v at iter %d)", res.Decision, res.Moved, res.MovedAt)
+	t.Logf("before=%.1f after=%.1f improvement=%.0f%%", res.Before, res.After, 100*res.Improvement)
+	if !res.Moved {
+		t.Fatal("reconfiguration did not trigger")
+	}
+	if res.Decision.To.String() != "app" {
+		t.Fatalf("moved node to %v, want app tier", res.Decision.To)
+	}
+	if res.Improvement <= 0.10 {
+		t.Fatalf("improvement = %.1f%%, want a substantial gain (paper: ~62%%)", 100*res.Improvement)
+	}
+}
+
+func TestFigure7bMovesAppToProxy(t *testing.T) {
+	fo := Figure7b()
+	res := RunFigure7(quickFig7Lab(), fo, nil)
+	t.Logf("layouts: %s", FormatLayoutSeries(res.Layouts))
+	t.Logf("decision: %v (moved=%v)", res.Decision, res.Moved)
+	t.Logf("before=%.1f after=%.1f improvement=%.0f%%", res.Before, res.After, 100*res.Improvement)
+	if !res.Moved {
+		t.Fatal("reconfiguration did not trigger")
+	}
+	if res.Decision.To.String() != "proxy" {
+		t.Fatalf("moved node to %v, want proxy tier", res.Decision.To)
+	}
+	if res.Improvement <= 0.10 {
+		t.Fatalf("improvement = %.1f%%, want a substantial gain (paper: ~70%%)", 100*res.Improvement)
+	}
+}
+
+// TestFigure7UtilProbe prints per-node utilization in the imbalanced
+// phase; diagnostic for threshold calibration.
+func TestFigure7UtilProbe(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		fo   Figure7Options
+	}{{"a", Figure7a()}, {"b", Figure7b()}} {
+		cfg := quickFig7Lab()
+		cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes = variant.fo.ProxyNodes, variant.fo.AppNodes, variant.fo.DBNodes
+		lab := NewLab(cfg, variant.fo.Start)
+		for t, c := range GenerousConfigs() {
+			lab.Sys.SetTierConfig(t, c)
+		}
+		lab.Sys.Restart()
+		for i := 0; i <= variant.fo.CheckAt; i++ {
+			if i == variant.fo.SwitchAt && variant.fo.SwitchTo != variant.fo.Start {
+				lab.Driver.SetWorkload(variant.fo.SwitchTo)
+			}
+			m := lab.MeasureIteration(false)
+			if i == variant.fo.CheckAt {
+				t.Logf("variant %s: WIPS=%.1f err=%.2f", variant.name, m.WIPS, m.ErrorRate)
+				for _, r := range lab.LastReadings() {
+					t.Logf("  node%d(%v): cpu=%.2f mem=%.2f net=%.2f disk=%.2f",
+						r.Node, r.Tier, r.Util[0], r.Util[1], r.Util[2], r.Util[3])
+				}
+			}
+		}
+	}
+}
+
+func TestFigure7TimelineRecorded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reconfiguration run")
+	}
+	res := RunFigure7(quickFig7Lab(), Figure7a(), nil)
+	if res.Timeline == nil || len(res.Timeline.Points()) == 0 {
+		t.Fatal("no utilization timeline recorded")
+	}
+	// The timeline must show the app tier hot before the move: find an
+	// app-node sample in the ordering phase with high CPU.
+	sawHotApp := false
+	for _, p := range res.Timeline.Points() {
+		if p.Tier.String() == "app" && p.Util[0] > 0.8 {
+			sawHotApp = true
+		}
+	}
+	if !sawHotApp {
+		t.Fatal("timeline never showed a hot application node")
+	}
+}

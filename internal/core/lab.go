@@ -1,0 +1,190 @@
+// Package core orchestrates the full reproduction: it wires the simulated
+// web cluster (internal/websim), the TPC-W driver (internal/tpcw), the
+// Active Harmony tuning layer (internal/harmony) and the reconfiguration
+// algorithm (internal/reconfig) into the paper's experiments, one runner
+// per table and figure.
+package core
+
+import (
+	"webharmony/internal/cluster"
+	"webharmony/internal/harmony"
+	"webharmony/internal/monitor"
+	"webharmony/internal/param"
+	"webharmony/internal/tpcw"
+	"webharmony/internal/websim"
+)
+
+// LabConfig describes the experimental setup: cluster shape, client load
+// and iteration window lengths (§III.A: 100 s warm-up, 1000 s measurement,
+// 100 s cool-down per iteration).
+type LabConfig struct {
+	ProxyNodes int
+	AppNodes   int
+	DBNodes    int
+	WorkLines  int
+
+	Browsers  int
+	ThinkMean float64
+	Scale     int
+	// Sessions drives browsers through the TPC-W session graph instead of
+	// i.i.d. Table 1 draws (same steady-state mix).
+	Sessions bool
+
+	Warm    float64
+	Measure float64
+	Cool    float64
+
+	Seed uint64
+}
+
+// PaperLab returns the paper's timing on the 4-machine setup: 100/1000/100
+// second windows. Simulated minutes per iteration; use for final runs.
+func PaperLab() LabConfig {
+	return LabConfig{
+		ProxyNodes: 1, AppNodes: 1, DBNodes: 1,
+		Browsers: 550, ThinkMean: 2, Scale: 10000,
+		Warm: 100, Measure: 1000, Cool: 100,
+		Seed: 1,
+	}
+}
+
+// StandardLab returns the setup used by the benchmark harness: the paper's
+// cluster and load with shortened (but still converged) windows.
+func StandardLab() LabConfig {
+	cfg := PaperLab()
+	cfg.Warm, cfg.Measure, cfg.Cool = 20, 120, 10
+	return cfg
+}
+
+// QuickLab returns a scaled-down setup for unit tests: a smaller store,
+// fewer browsers with shorter think times (still saturating the cluster)
+// and short windows.
+func QuickLab() LabConfig {
+	return LabConfig{
+		ProxyNodes: 1, AppNodes: 1, DBNodes: 1,
+		Browsers: 170, ThinkMean: 0.5, Scale: 1500,
+		Warm: 5, Measure: 30, Cool: 3,
+		Seed: 1,
+	}
+}
+
+// Lab is one instantiated experiment: a simulated cluster under TPC-W load
+// with per-iteration measurement, usable as a harmony.Target.
+type Lab struct {
+	Cfg    LabConfig
+	Sys    *websim.System
+	Driver *tpcw.Driver
+	Mon    *monitor.Monitor
+
+	lastReadings []monitor.Reading
+	iterations   int
+}
+
+// NewLab builds the simulated cluster and client population.
+func NewLab(cfg LabConfig, w tpcw.Workload) *Lab {
+	sys := websim.New(websim.Options{
+		ProxyNodes: cfg.ProxyNodes,
+		AppNodes:   cfg.AppNodes,
+		DBNodes:    cfg.DBNodes,
+		WorkLines:  cfg.WorkLines,
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+	})
+	d := tpcw.NewDriver(sys.Eng, sys, sys.Catalog, tpcw.DriverOptions{
+		Browsers:  cfg.Browsers,
+		Workload:  w,
+		ThinkMean: cfg.ThinkMean,
+		Seed:      cfg.Seed ^ 0xeb,
+		Sessions:  cfg.Sessions,
+	})
+	return &Lab{Cfg: cfg, Sys: sys, Driver: d, Mon: monitor.New(sys.Cluster)}
+}
+
+// Tiers implements harmony.Target.
+func (l *Lab) Tiers() []harmony.TierSpec {
+	var specs []harmony.TierSpec
+	for _, t := range cluster.Tiers() {
+		spec := harmony.TierSpec{Name: t.String(), Space: websim.SpaceFor(t)}
+		for _, n := range l.Sys.Cluster.TierNodes(t) {
+			spec.Nodes = append(spec.Nodes, n.ID())
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// SetNodeConfig implements harmony.Target.
+func (l *Lab) SetNodeConfig(node int, cfg param.Config) {
+	l.Sys.SetNodeConfig(node, cfg)
+}
+
+// NodeConfig implements harmony.Target: the node's staged configuration.
+func (l *Lab) NodeConfig(node int) param.Config {
+	return l.Sys.NodeConfig(node)
+}
+
+// RunIteration implements harmony.Target: restart the servers with the
+// staged configurations and run one warm/measure/cool window, collecting
+// resource utilizations over the measurement interval.
+func (l *Lab) RunIteration() (float64, []float64) {
+	m := l.MeasureIteration(true)
+	return m.WIPS, m.LineWIPS
+}
+
+// MeasureIteration runs one iteration window; restart controls whether the
+// servers are restarted first (a tuning iteration) or left running (a
+// plain observation window).
+func (l *Lab) MeasureIteration(restart bool) websim.Measurement {
+	if restart {
+		l.Sys.Restart()
+	}
+	if !l.Driver.Running() {
+		l.Driver.Start()
+	}
+	eng := l.Sys.Eng
+	eng.RunUntil(eng.Now() + l.Cfg.Warm)
+	l.Mon.Begin()
+	m := websim.Measure(l.Sys, l.Driver, 0, l.Cfg.Measure, 0)
+	l.lastReadings = l.Mon.Collect()
+	eng.RunUntil(eng.Now() + l.Cfg.Cool)
+	l.iterations++
+	return m
+}
+
+// LastReadings returns the per-node utilizations of the last iteration's
+// measurement window.
+func (l *Lab) LastReadings() []monitor.Reading { return l.lastReadings }
+
+// Iterations returns how many iteration windows have run.
+func (l *Lab) Iterations() int { return l.iterations }
+
+// MeasureConfig applies one configuration per tier (duplicated within the
+// tier), restarts, and measures n iterations, returning the WIPS series.
+// Two discarded warm-up iterations run first so the proxy disk stores are
+// populated, matching the steady-state conditions tuning measures under.
+func (l *Lab) MeasureConfig(cfgs map[cluster.Tier]param.Config, n int) []float64 {
+	for t, cfg := range cfgs {
+		l.Sys.SetTierConfig(t, cfg)
+	}
+	for i := 0; i < 2; i++ {
+		l.MeasureIteration(true)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		m := l.MeasureIteration(true)
+		out = append(out, m.WIPS)
+	}
+	return out
+}
+
+// DefaultConfigs returns every tier's default configuration.
+func DefaultConfigs() map[cluster.Tier]param.Config {
+	out := make(map[cluster.Tier]param.Config)
+	for _, t := range cluster.Tiers() {
+		out[t] = websim.SpaceFor(t).DefaultConfig()
+	}
+	return out
+}
+
+// Compile-time check.
+var _ harmony.Target = (*Lab)(nil)

@@ -1,0 +1,263 @@
+// Package harmony implements the Active Harmony tuning server: tuning
+// sessions that drive an ask/tell optimizer over a parameter space from
+// one performance observation per iteration, plus the cluster-scale tuning
+// strategies of §III.B of the paper — a single server for all parameters
+// (the default), parameter duplication (one space per tier, values copied
+// to every node of the tier), and parameter partitioning (an independent
+// tuning server per work line).
+package harmony
+
+import (
+	"fmt"
+
+	"webharmony/internal/param"
+	"webharmony/internal/simplex"
+)
+
+// Algorithm selects the session's search kernel.
+type Algorithm int
+
+const (
+	// AlgoNelderMead is the paper's adapted simplex method (the default).
+	AlgoNelderMead Algorithm = iota
+	// AlgoRandom is uniform random search (baseline).
+	AlgoRandom
+	// AlgoCoordinate is one-knob-at-a-time hill climbing (baseline).
+	AlgoCoordinate
+	// AlgoAnnealing is simulated annealing (the related-work Nimrod/O
+	// approach; baseline).
+	AlgoAnnealing
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNelderMead:
+		return "nelder-mead"
+	case AlgoRandom:
+		return "random"
+	case AlgoCoordinate:
+		return "coordinate"
+	case AlgoAnnealing:
+		return "annealing"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a tuning session.
+type Options struct {
+	Algorithm Algorithm
+	Seed      uint64
+
+	// GuardFactor enables the extreme-value guard in the simplex kernel
+	// (§III.A future work); 0 disables it, matching the published system.
+	GuardFactor float64
+
+	// Anchor, when non-nil, is the configuration the search starts from
+	// (the system's currently-running configuration); nil anchors at the
+	// space defaults.
+	Anchor param.Config
+
+	// ShiftFactor enables workload-shift detection: when the session's
+	// recent performance deviates from the performance remembered for its
+	// best configuration by more than this relative factor for
+	// ShiftPatience consecutive iterations, the search restarts around the
+	// current best configuration (Figure 5 responsiveness). 0 disables.
+	ShiftFactor   float64
+	ShiftPatience int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShiftPatience == 0 {
+		o.ShiftPatience = 3
+	}
+	return o
+}
+
+// Record is one completed tuning iteration.
+type Record struct {
+	Iteration int
+	Config    param.Config
+	Perf      float64 // measured performance (higher is better)
+}
+
+// Session is one Active Harmony tuning server instance: it owns a
+// parameter space and proposes one configuration per iteration.
+type Session struct {
+	space *param.Space
+	opts  Options
+	tuner simplex.Tuner
+
+	pending  param.Config
+	asked    bool
+	history  []Record
+	bestCfg  param.Config
+	bestPerf float64
+	haveBest bool
+
+	shiftStreak int
+	resets      int
+}
+
+// NewSession creates a tuning session over the given space.
+func NewSession(space *param.Space, opts Options) *Session {
+	opts = opts.withDefaults()
+	s := &Session{space: space, opts: opts}
+	s.tuner = s.newTuner()
+	if opts.Anchor != nil {
+		anchor := opts.Anchor.Clone()
+		space.Clamp(anchor)
+		s.tuner.Reset(anchor)
+	}
+	return s
+}
+
+func (s *Session) newTuner() simplex.Tuner {
+	switch s.opts.Algorithm {
+	case AlgoRandom:
+		return simplex.NewRandomSearch(s.space, s.opts.Seed)
+	case AlgoCoordinate:
+		return simplex.NewCoordinateSearch(s.space, 0)
+	case AlgoAnnealing:
+		return simplex.NewSimulatedAnnealing(s.space, simplex.AnnealingOptions{Seed: s.opts.Seed})
+	default:
+		return simplex.NewNelderMead(s.space, simplex.Options{
+			Seed:        s.opts.Seed,
+			GuardFactor: s.opts.GuardFactor,
+		})
+	}
+}
+
+// Space returns the session's parameter space.
+func (s *Session) Space() *param.Space { return s.space }
+
+// NextConfig returns the configuration to run for the next iteration.
+func (s *Session) NextConfig() param.Config {
+	if s.asked {
+		return s.pending.Clone()
+	}
+	s.pending = s.tuner.Ask()
+	s.asked = true
+	return s.pending.Clone()
+}
+
+// Report records the measured performance (higher is better) of the
+// configuration returned by the last NextConfig.
+func (s *Session) Report(perf float64) {
+	if !s.asked {
+		panic("harmony: Report without NextConfig")
+	}
+	s.asked = false
+	s.tuner.Tell(-perf) // tuners minimize cost
+	s.history = append(s.history, Record{
+		Iteration: len(s.history) + 1,
+		Config:    s.pending.Clone(),
+		Perf:      perf,
+	})
+	if !s.haveBest || perf > s.bestPerf {
+		s.bestCfg = s.pending.Clone()
+		s.bestPerf = perf
+		s.haveBest = true
+		s.shiftStreak = 0
+		return
+	}
+	s.maybeDetectShift(perf)
+}
+
+// maybeDetectShift restarts the search when sustained performance deviates
+// from the remembered best — the environment (workload) has changed and
+// stored measurements are stale.
+func (s *Session) maybeDetectShift(perf float64) {
+	if s.opts.ShiftFactor <= 0 || !s.haveBest || s.bestPerf <= 0 {
+		return
+	}
+	dev := perf/s.bestPerf - 1
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev > s.opts.ShiftFactor {
+		s.shiftStreak++
+	} else {
+		s.shiftStreak = 0
+	}
+	if s.shiftStreak >= s.opts.ShiftPatience {
+		s.Restart()
+	}
+}
+
+// Restart re-centers the search around the current best configuration and
+// forgets the remembered best performance, so the session re-learns the
+// new environment. Safe to call at any point between iterations.
+func (s *Session) Restart() {
+	anchor := s.space.DefaultConfig()
+	if s.haveBest {
+		anchor = s.bestCfg
+	}
+	s.tuner.Reset(anchor)
+	s.haveBest = false
+	s.shiftStreak = 0
+	s.resets++
+}
+
+// Best returns the best configuration and performance seen since the last
+// restart.
+func (s *Session) Best() (param.Config, float64, bool) {
+	if !s.haveBest {
+		return s.space.DefaultConfig(), 0, false
+	}
+	return s.bestCfg.Clone(), s.bestPerf, true
+}
+
+// BestEver returns the best configuration over the whole history
+// (including before restarts).
+func (s *Session) BestEver() (param.Config, float64, bool) {
+	var cfg param.Config
+	best := 0.0
+	found := false
+	for _, r := range s.history {
+		if !found || r.Perf > best {
+			cfg, best, found = r.Config, r.Perf, true
+		}
+	}
+	if !found {
+		return s.space.DefaultConfig(), 0, false
+	}
+	return cfg.Clone(), best, true
+}
+
+// History returns the completed iterations. Callers must not modify it.
+func (s *Session) History() []Record { return s.history }
+
+// Iterations returns the number of completed iterations.
+func (s *Session) Iterations() int { return len(s.history) }
+
+// Resets returns how many times the search restarted (shift detections
+// plus explicit Restart calls).
+func (s *Session) Resets() int { return s.resets }
+
+// Converged reports whether the underlying search has collapsed.
+func (s *Session) Converged() bool { return s.tuner.Converged() }
+
+// ConvergenceIteration returns the first iteration whose configuration
+// equals the best-ever configuration — the paper's "iterations" column in
+// Table 4 (how long tuning took to find the configuration it settled on).
+// It returns 0 if there is no history.
+func (s *Session) ConvergenceIteration() int {
+	best, _, ok := s.BestEver()
+	if !ok {
+		return 0
+	}
+	for _, r := range s.history {
+		if r.Config.Equal(best) {
+			return r.Iteration
+		}
+	}
+	return 0
+}
+
+// String describes the session.
+func (s *Session) String() string {
+	return fmt.Sprintf("Session{dim=%d algo=%v iters=%d resets=%d}",
+		s.space.Len(), s.opts.Algorithm, len(s.history), s.resets)
+}

@@ -1,0 +1,347 @@
+package hproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"webharmony/internal/harmony"
+	"webharmony/internal/param"
+)
+
+// Server is a network-facing Active Harmony tuning server. Sessions are
+// shared across connections (several servers of a cluster may report into
+// one session, or each may own its own), matching the deployment in §III.B
+// where one tuning server drives many nodes.
+type Server struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type sessionState struct {
+	mu      sync.Mutex
+	space   *param.Space
+	session *harmony.Session
+	pending bool // a config has been handed out and awaits a report
+}
+
+// NewServer starts a tuning server listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, sessions: make(map[string]*sessionState)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if err != io.EOF {
+				// Connection-level failure; nothing to report to.
+				_ = err
+			}
+			return
+		}
+		var req Request
+		resp := Response{OK: true}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Errorf("bad request: %v", err)
+		} else {
+			resp = s.dispatch(req)
+		}
+		out, err := EncodeLine(resp)
+		if err != nil {
+			out, _ = EncodeLine(Errorf("encode: %v", err))
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) get(name string) (*sessionState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[name]
+	return st, ok
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case OpRegister:
+		return s.register(req)
+	case OpList:
+		s.mu.Lock()
+		names := make([]string, 0, len(s.sessions))
+		for n := range s.sessions {
+			names = append(names, n)
+		}
+		s.mu.Unlock()
+		sort.Strings(names)
+		return Response{OK: true, Sessions: names}
+	case OpClose:
+		s.mu.Lock()
+		_, ok := s.sessions[req.Session]
+		delete(s.sessions, req.Session)
+		s.mu.Unlock()
+		if !ok {
+			return Errorf("no session %q", req.Session)
+		}
+		return Response{OK: true}
+	case OpRestore:
+		return s.restore(req)
+	}
+
+	st, ok := s.get(req.Session)
+	if !ok {
+		return Errorf("no session %q", req.Session)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch req.Op {
+	case OpNext:
+		cfg := st.session.NextConfig()
+		st.pending = true
+		return Response{OK: true, Config: cfg, Values: cfg.Map(st.space)}
+	case OpReport:
+		if !st.pending {
+			return Errorf("report without a pending configuration")
+		}
+		st.session.Report(req.Perf)
+		st.pending = false
+		return Response{OK: true, Iterations: st.session.Iterations()}
+	case OpBest:
+		cfg, perf, have := st.session.Best()
+		return Response{
+			OK: true, Config: cfg, Values: cfg.Map(st.space),
+			Perf: perf, HavePerf: have,
+			Iterations: st.session.Iterations(),
+		}
+	case OpRestart:
+		st.session.Restart()
+		st.pending = false
+		return Response{OK: true}
+	case OpSave:
+		snap, err := st.session.Save()
+		if err != nil {
+			return Errorf("save: %v", err)
+		}
+		data, err := snap.Marshal()
+		if err != nil {
+			return Errorf("save: %v", err)
+		}
+		return Response{OK: true, Snapshot: data}
+	default:
+		return Errorf("unknown op %q", req.Op)
+	}
+}
+
+func (s *Server) register(req Request) Response {
+	if req.Session == "" {
+		return Errorf("register: empty session name")
+	}
+	if len(req.Params) == 0 {
+		return Errorf("register: no parameters")
+	}
+	space, err := param.NewSpace(req.Params...)
+	if err != nil {
+		return Errorf("register: %v", err)
+	}
+	var algo harmony.Algorithm
+	switch req.Algorithm {
+	case "", "nelder-mead":
+		algo = harmony.AlgoNelderMead
+	case "random":
+		algo = harmony.AlgoRandom
+	case "coordinate":
+		algo = harmony.AlgoCoordinate
+	case "annealing":
+		algo = harmony.AlgoAnnealing
+	default:
+		return Errorf("register: unknown algorithm %q", req.Algorithm)
+	}
+	sess := harmony.NewSession(space, harmony.Options{
+		Algorithm:   algo,
+		Seed:        req.Seed,
+		GuardFactor: req.GuardFactor,
+		ShiftFactor: req.ShiftFactor,
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Errorf("server closed")
+	}
+	if _, dup := s.sessions[req.Session]; dup {
+		return Errorf("register: session %q exists", req.Session)
+	}
+	s.sessions[req.Session] = &sessionState{space: space, session: sess}
+	return Response{OK: true}
+}
+
+// restore recreates a session from a snapshot by deterministic replay.
+func (s *Server) restore(req Request) Response {
+	if req.Session == "" {
+		return Errorf("restore: empty session name")
+	}
+	snap, err := harmony.LoadSnapshot(req.Snapshot)
+	if err != nil {
+		return Errorf("restore: %v", err)
+	}
+	sess, err := harmony.Restore(snap)
+	if err != nil {
+		return Errorf("restore: %v", err)
+	}
+	space, err := param.NewSpace(snap.Params...)
+	if err != nil {
+		return Errorf("restore: %v", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Errorf("server closed")
+	}
+	if _, dup := s.sessions[req.Session]; dup {
+		return Errorf("restore: session %q exists", req.Session)
+	}
+	s.sessions[req.Session] = &sessionState{space: space, session: sess}
+	return Response{OK: true, Iterations: sess.Iterations()}
+}
+
+// Client is a connection to a tuning server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex
+}
+
+// Dial connects to a tuning server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads one response. Safe for concurrent use.
+func (c *Client) Do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := EncodeLine(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if _, err := c.conn.Write(out); err != nil {
+		return Response{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK && resp.Error == "" {
+		resp.Error = "unknown server error"
+	}
+	return resp, nil
+}
+
+// Register creates a session with the given parameters.
+func (c *Client) Register(session string, defs []param.Def, algorithm string, seed uint64) error {
+	resp, err := c.Do(Request{Op: OpRegister, Session: session, Params: defs, Algorithm: algorithm, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("hproto: %s", resp.Error)
+	}
+	return nil
+}
+
+// Next fetches the next configuration to measure.
+func (c *Client) Next(session string) (param.Config, map[string]int64, error) {
+	resp, err := c.Do(Request{Op: OpNext, Session: session})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !resp.OK {
+		return nil, nil, fmt.Errorf("hproto: %s", resp.Error)
+	}
+	return resp.Config, resp.Values, nil
+}
+
+// Report submits the measured performance for the last Next.
+func (c *Client) Report(session string, perf float64) error {
+	resp, err := c.Do(Request{Op: OpReport, Session: session, Perf: perf})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("hproto: %s", resp.Error)
+	}
+	return nil
+}
+
+// Best returns the best configuration and performance so far.
+func (c *Client) Best(session string) (param.Config, float64, bool, error) {
+	resp, err := c.Do(Request{Op: OpBest, Session: session})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !resp.OK {
+		return nil, 0, false, fmt.Errorf("hproto: %s", resp.Error)
+	}
+	return resp.Config, resp.Perf, resp.HavePerf, nil
+}

@@ -1,0 +1,116 @@
+// Package monitor observes per-node resource utilization over tuning
+// windows and classifies nodes against the low/high thresholds used by the
+// automatic reconfiguration algorithm of §IV (Table 5: R_ij, LT_ij, HT_ij).
+package monitor
+
+import (
+	"webharmony/internal/cluster"
+)
+
+// Thresholds holds the per-resource low and high utilization thresholds
+// (the paper's LT and HT). Readings below every low threshold mark a node
+// under-utilized; any reading above its high threshold marks it
+// over-utilized.
+type Thresholds struct {
+	Low  [cluster.NumResources]float64
+	High [cluster.NumResources]float64
+}
+
+// DefaultThresholds returns the thresholds used in the experiments.
+func DefaultThresholds() Thresholds {
+	var t Thresholds
+	t.Low[cluster.ResCPU] = 0.40
+	t.Low[cluster.ResMemory] = 0.70
+	t.Low[cluster.ResNet] = 0.30
+	t.Low[cluster.ResDisk] = 0.30
+	t.High[cluster.ResCPU] = 0.85
+	t.High[cluster.ResMemory] = 0.95
+	t.High[cluster.ResNet] = 0.80
+	t.High[cluster.ResDisk] = 0.80
+	return t
+}
+
+// Reading is one node's utilization over the observed window.
+type Reading struct {
+	Node int
+	Tier cluster.Tier
+	Util [cluster.NumResources]float64
+}
+
+// Overloaded reports whether any resource exceeds its high threshold.
+func (r Reading) Overloaded(t Thresholds) bool {
+	for j := 0; j < cluster.NumResources; j++ {
+		if r.Util[j] > t.High[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Underloaded reports whether every resource is below its low threshold
+// (the paper's step 2: R_ij <= LT_ij for all j).
+func (r Reading) Underloaded(t Thresholds) bool {
+	for j := 0; j < cluster.NumResources; j++ {
+		if r.Util[j] > t.Low[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Urgency scores how badly the node needs relief: the threshold excess of
+// each resource weighted by the priority order (earlier resources in order
+// matter more — the paper's footnote 3, e.g. an overloaded CPU is a bigger
+// problem than a saturated NIC). A non-overloaded node scores 0.
+func (r Reading) Urgency(t Thresholds, order []cluster.Resource) float64 {
+	score := 0.0
+	weight := float64(len(order))
+	for _, res := range order {
+		if excess := r.Util[res] - t.High[res]; excess > 0 {
+			score += excess * weight
+		}
+		weight--
+	}
+	return score
+}
+
+// DefaultUrgencyOrder puts CPU first, then memory, disk, and network.
+func DefaultUrgencyOrder() []cluster.Resource {
+	return []cluster.Resource{cluster.ResCPU, cluster.ResMemory, cluster.ResDisk, cluster.ResNet}
+}
+
+// Monitor snapshots a cluster's counters and produces per-node readings.
+type Monitor struct {
+	cl    *cluster.Cluster
+	snaps map[int]cluster.UtilSnapshot
+}
+
+// New creates a monitor over the cluster.
+func New(cl *cluster.Cluster) *Monitor {
+	return &Monitor{cl: cl, snaps: make(map[int]cluster.UtilSnapshot)}
+}
+
+// Begin starts a new observation window.
+func (m *Monitor) Begin() {
+	for _, n := range m.cl.Nodes() {
+		m.snaps[n.ID()] = n.Snapshot()
+	}
+}
+
+// Collect returns the utilization of every node since Begin. Nodes added
+// after Begin are skipped.
+func (m *Monitor) Collect() []Reading {
+	var out []Reading
+	for _, n := range m.cl.Nodes() {
+		snap, ok := m.snaps[n.ID()]
+		if !ok {
+			continue
+		}
+		out = append(out, Reading{
+			Node: n.ID(),
+			Tier: n.Tier(),
+			Util: n.Utilization(snap),
+		})
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"testing"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/simnet"
+)
+
+func reading(cpu, mem, net, disk float64, tier cluster.Tier) Reading {
+	var r Reading
+	r.Tier = tier
+	r.Util[cluster.ResCPU] = cpu
+	r.Util[cluster.ResMemory] = mem
+	r.Util[cluster.ResNet] = net
+	r.Util[cluster.ResDisk] = disk
+	return r
+}
+
+func TestOverUnderClassification(t *testing.T) {
+	th := DefaultThresholds()
+	hot := reading(0.95, 0.2, 0.1, 0.1, cluster.TierApp)
+	if !hot.Overloaded(th) {
+		t.Fatal("0.95 CPU not overloaded")
+	}
+	if hot.Underloaded(th) {
+		t.Fatal("hot node classified underloaded")
+	}
+	cold := reading(0.05, 0.3, 0.02, 0.01, cluster.TierProxy)
+	if cold.Overloaded(th) {
+		t.Fatal("cold node classified overloaded")
+	}
+	if !cold.Underloaded(th) {
+		t.Fatal("cold node not underloaded")
+	}
+	mid := reading(0.5, 0.4, 0.2, 0.2, cluster.TierDB)
+	if mid.Overloaded(th) || mid.Underloaded(th) {
+		t.Fatal("mid node misclassified")
+	}
+}
+
+func TestUnderloadedRequiresAllResources(t *testing.T) {
+	th := DefaultThresholds()
+	// CPU idle but disk busy: NOT underloaded (step 2 requires all).
+	r := reading(0.05, 0.2, 0.05, 0.7, cluster.TierProxy)
+	if r.Underloaded(th) {
+		t.Fatal("node with busy disk classified underloaded")
+	}
+}
+
+func TestUrgencyOrdering(t *testing.T) {
+	th := DefaultThresholds()
+	order := DefaultUrgencyOrder()
+	cpuHot := reading(0.95, 0.2, 0.1, 0.1, cluster.TierApp)
+	netHot := reading(0.2, 0.2, 0.90, 0.1, cluster.TierProxy)
+	if cpuHot.Urgency(th, order) <= netHot.Urgency(th, order) {
+		t.Fatal("CPU overload should be more urgent than net overload")
+	}
+	cool := reading(0.2, 0.2, 0.2, 0.2, cluster.TierDB)
+	if cool.Urgency(th, order) != 0 {
+		t.Fatal("cool node has non-zero urgency")
+	}
+}
+
+func TestMonitorCollect(t *testing.T) {
+	eng := &simnet.Engine{}
+	cl := cluster.New(eng, cluster.DefaultHardware(), 1, 1, 1)
+	m := New(cl)
+	m.Begin()
+	// Load node 0's CPU fully for the window.
+	cl.Node(0).CPU().Submit(100, nil)
+	cl.Node(0).CPU().Submit(100, nil)
+	eng.RunUntil(10)
+	rs := m.Collect()
+	if len(rs) != 3 {
+		t.Fatalf("collected %d readings", len(rs))
+	}
+	if rs[0].Node != 0 || rs[0].Tier != cluster.TierProxy {
+		t.Fatal("reading identity wrong")
+	}
+	if rs[0].Util[cluster.ResCPU] < 0.99 {
+		t.Fatalf("node0 CPU util = %v, want ~1", rs[0].Util[cluster.ResCPU])
+	}
+	if rs[1].Util[cluster.ResCPU] != 0 {
+		t.Fatal("idle node shows CPU load")
+	}
+}
+
+func TestMonitorSkipsNodesAddedAfterBegin(t *testing.T) {
+	eng := &simnet.Engine{}
+	cl := cluster.New(eng, cluster.DefaultHardware(), 1, 1, 1)
+	m := New(cl)
+	m.Begin()
+	rs := m.Collect()
+	if len(rs) != 3 {
+		t.Fatal("expected 3 readings")
+	}
+	// A fresh monitor without Begin yields nothing.
+	m2 := New(cl)
+	if len(m2.Collect()) != 0 {
+		t.Fatal("Collect before Begin should be empty")
+	}
+}

@@ -1,0 +1,152 @@
+// Package reconfig implements the automatic cluster reconfiguration
+// algorithm of §IV (Figure 6): find over-loaded nodes, find under-loaded
+// nodes, pick the most urgent over-loaded node and the cheapest
+// under-loaded donor from another tier, and move the donor into the
+// over-loaded tier — immediately if the move is cheaper than waiting for
+// its jobs to finish (equation 1: F + N_k·M_km − N_k·A_k).
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/monitor"
+)
+
+// Costs supplies the cost terms of Table 5 for the move decision.
+type Costs struct {
+	// F is the fixed configuration cost, in seconds, of restarting a node
+	// in a new role.
+	F float64
+	// MoveCost returns M_pq: the cost to move one job from node p to node
+	// q (same-tier neighbours absorb the donor's jobs).
+	MoveCost func(p, q int) float64
+	// AvgProc returns A_i: the average remaining processing time of a job
+	// on node i.
+	AvgProc func(i int) float64
+	// Jobs returns N_i: the number of jobs currently on node i.
+	Jobs func(i int) int
+}
+
+// DefaultCosts returns a cost model suitable for the simulator: restarting
+// a role costs 30 s, moving a job to a neighbour costs 50 ms, and jobs
+// average 100 ms of remaining work.
+func DefaultCosts() Costs {
+	return Costs{
+		F:        30,
+		MoveCost: func(p, q int) float64 { return 0.05 },
+		AvgProc:  func(i int) float64 { return 0.1 },
+		Jobs:     func(i int) int { return 0 },
+	}
+}
+
+// Decision is the algorithm's output: move node Node from tier From to
+// tier To. Immediate reports whether existing jobs should be migrated now
+// (equation 1 non-positive) or the node drained first.
+type Decision struct {
+	Node       int
+	From, To   cluster.Tier
+	Immediate  bool
+	Overloaded int     // the node whose overload triggered the move
+	Cost       float64 // the evaluated equation-1 value for the donor
+	Urgency    float64 // urgency score of the overloaded node
+}
+
+// String formats the decision.
+func (d Decision) String() string {
+	mode := "after draining"
+	if d.Immediate {
+		mode = "immediately"
+	}
+	return fmt.Sprintf("move node%d %v→%v %s (relieving node%d)",
+		d.Node, d.From, d.To, mode, d.Overloaded)
+}
+
+// TierSizer reports how many nodes currently serve a tier (M(t)).
+type TierSizer interface {
+	TierSize(t cluster.Tier) int
+}
+
+// Decide runs Figure 6 over one window of readings. It returns false when
+// no reconfiguration is warranted (no overloaded node, no eligible donor).
+func Decide(readings []monitor.Reading, th monitor.Thresholds, sizes TierSizer,
+	costs Costs, urgencyOrder []cluster.Resource) (Decision, bool) {
+
+	// Step 1: overloaded nodes.
+	var l1 []monitor.Reading
+	for _, r := range readings {
+		if r.Overloaded(th) {
+			l1 = append(l1, r)
+		}
+	}
+	if len(l1) == 0 {
+		return Decision{}, false
+	}
+	// Step 2: underloaded nodes.
+	var l2 []monitor.Reading
+	for _, r := range readings {
+		if r.Underloaded(th) {
+			l2 = append(l2, r)
+		}
+	}
+	if len(l2) == 0 {
+		return Decision{}, false
+	}
+	// Step 3: sort L1 by degree of urgency (most urgent first; stable on
+	// node ID for determinism).
+	sort.SliceStable(l1, func(a, b int) bool {
+		ua := l1[a].Urgency(th, urgencyOrder)
+		ub := l1[b].Urgency(th, urgencyOrder)
+		if ua != ub {
+			return ua > ub
+		}
+		return l1[a].Node < l1[b].Node
+	})
+
+	// Step 4: for the head of L1, find the donor k in L2 satisfying
+	// (a) Tier(i) != Tier(k), (b) M(Tier(k)) > 1, (c) minimal equation 1.
+	for _, hot := range l1 {
+		bestIdx := -1
+		bestCost := 0.0
+		for idx, cand := range l2 {
+			if cand.Tier == hot.Tier {
+				continue // (a)
+			}
+			if sizes.TierSize(cand.Tier) <= 1 {
+				continue // (b): never empty a tier
+			}
+			n := float64(costs.Jobs(cand.Node))
+			m := costs.MoveCost(cand.Node, neighbourOf(readings, cand))
+			c := costs.F + n*m - n*costs.AvgProc(cand.Node) // (c)
+			if bestIdx < 0 || c < bestCost {
+				bestIdx, bestCost = idx, c
+			}
+		}
+		if bestIdx < 0 {
+			continue // try the next overloaded node
+		}
+		donor := l2[bestIdx]
+		return Decision{
+			Node:       donor.Node,
+			From:       donor.Tier,
+			To:         hot.Tier,
+			Immediate:  bestCost <= 0,
+			Overloaded: hot.Node,
+			Cost:       bestCost,
+			Urgency:    hot.Urgency(th, urgencyOrder),
+		}, true
+	}
+	return Decision{}, false
+}
+
+// neighbourOf returns a same-tier neighbour of the donor (the node m in
+// equation 1 that absorbs its jobs), or the donor itself when alone.
+func neighbourOf(readings []monitor.Reading, donor monitor.Reading) int {
+	for _, r := range readings {
+		if r.Tier == donor.Tier && r.Node != donor.Node {
+			return r.Node
+		}
+	}
+	return donor.Node
+}

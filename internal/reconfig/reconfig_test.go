@@ -1,0 +1,197 @@
+package reconfig
+
+import (
+	"strings"
+	"testing"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/monitor"
+)
+
+type sizes map[cluster.Tier]int
+
+func (s sizes) TierSize(t cluster.Tier) int { return s[t] }
+
+func reading(node int, tier cluster.Tier, cpu, mem, net, disk float64) monitor.Reading {
+	var r monitor.Reading
+	r.Node = node
+	r.Tier = tier
+	r.Util[cluster.ResCPU] = cpu
+	r.Util[cluster.ResMemory] = mem
+	r.Util[cluster.ResNet] = net
+	r.Util[cluster.ResDisk] = disk
+	return r
+}
+
+func th() monitor.Thresholds    { return monitor.DefaultThresholds() }
+func order() []cluster.Resource { return monitor.DefaultUrgencyOrder() }
+func costsWithJobs(n int, avg, move float64) Costs {
+	c := DefaultCosts()
+	c.Jobs = func(int) int { return n }
+	c.AvgProc = func(int) float64 { return avg }
+	c.MoveCost = func(p, q int) float64 { return move }
+	return c
+}
+
+func TestNoOverloadedNoDecision(t *testing.T) {
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.4, 0.3, 0.2, 0.1),
+		reading(1, cluster.TierApp, 0.1, 0.1, 0.05, 0.02),
+	}
+	if _, ok := Decide(rs, th(), sizes{cluster.TierProxy: 1, cluster.TierApp: 1}, DefaultCosts(), order()); ok {
+		t.Fatal("decision without overload")
+	}
+}
+
+func TestNoUnderloadedNoDecision(t *testing.T) {
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.95, 0.3, 0.2, 0.1),
+		reading(1, cluster.TierApp, 0.6, 0.4, 0.4, 0.4),
+	}
+	if _, ok := Decide(rs, th(), sizes{cluster.TierProxy: 1, cluster.TierApp: 1}, DefaultCosts(), order()); ok {
+		t.Fatal("decision without donor")
+	}
+}
+
+func TestBasicMoveDecision(t *testing.T) {
+	// App node 2 overloaded; proxy node 1 idle; proxy tier has 2 nodes.
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.5, 0.3, 0.3, 0.2),
+		reading(1, cluster.TierProxy, 0.05, 0.2, 0.05, 0.02),
+		reading(2, cluster.TierApp, 0.97, 0.5, 0.3, 0.1),
+	}
+	d, ok := Decide(rs, th(), sizes{cluster.TierProxy: 2, cluster.TierApp: 1, cluster.TierDB: 1}, DefaultCosts(), order())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Node != 1 || d.From != cluster.TierProxy || d.To != cluster.TierApp {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.Overloaded != 2 {
+		t.Fatalf("overloaded = %d, want 2", d.Overloaded)
+	}
+	if !strings.Contains(d.String(), "node1") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestDonorNeverEmptiesTier(t *testing.T) {
+	// Only proxy node is idle but it's the tier's last node: rule (b).
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.05, 0.2, 0.05, 0.02),
+		reading(1, cluster.TierApp, 0.97, 0.5, 0.3, 0.1),
+	}
+	if _, ok := Decide(rs, th(), sizes{cluster.TierProxy: 1, cluster.TierApp: 1}, DefaultCosts(), order()); ok {
+		t.Fatal("algorithm emptied a tier")
+	}
+}
+
+func TestDonorNotFromSameTier(t *testing.T) {
+	// Idle node is in the SAME tier as the hot one: rule (a). Moving it
+	// would not change tier capacities.
+	rs := []monitor.Reading{
+		reading(0, cluster.TierApp, 0.05, 0.2, 0.05, 0.02),
+		reading(1, cluster.TierApp, 0.97, 0.5, 0.3, 0.1),
+	}
+	if _, ok := Decide(rs, th(), sizes{cluster.TierApp: 2, cluster.TierProxy: 1}, DefaultCosts(), order()); ok {
+		t.Fatal("donor chosen from the overloaded tier")
+	}
+}
+
+func TestMostUrgentOverloadedWins(t *testing.T) {
+	// Both app (CPU 0.99) and proxy (net 0.85) overloaded; CPU overload is
+	// more urgent, so the donor goes to the app tier.
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.2, 0.2, 0.85, 0.1),
+		reading(1, cluster.TierApp, 0.99, 0.5, 0.3, 0.1),
+		reading(2, cluster.TierDB, 0.05, 0.2, 0.05, 0.02),
+	}
+	d, ok := Decide(rs, th(), sizes{cluster.TierProxy: 1, cluster.TierApp: 1, cluster.TierDB: 2}, DefaultCosts(), order())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.To != cluster.TierApp {
+		t.Fatalf("donor sent to %v, want app tier", d.To)
+	}
+}
+
+func TestImmediateWhenMovingIsCheap(t *testing.T) {
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.05, 0.2, 0.05, 0.02),
+		reading(1, cluster.TierProxy, 0.5, 0.3, 0.3, 0.2),
+		reading(2, cluster.TierApp, 0.97, 0.5, 0.3, 0.1),
+	}
+	s := sizes{cluster.TierProxy: 2, cluster.TierApp: 1}
+	// Equation 1: F + N·M − N·A. With F=1, N=100, M=0.01, A=1:
+	// 1 + 1 − 100 = −98 → immediate.
+	c := costsWithJobs(100, 1, 0.01)
+	c.F = 1
+	d, ok := Decide(rs, th(), s, c, order())
+	if !ok || !d.Immediate {
+		t.Fatalf("cheap move not immediate: %+v", d)
+	}
+	// With F=1000 the cost is positive → wait for draining.
+	c.F = 1000
+	d, ok = Decide(rs, th(), s, c, order())
+	if !ok || d.Immediate {
+		t.Fatalf("expensive move marked immediate: %+v", d)
+	}
+}
+
+func TestCheapestDonorChosen(t *testing.T) {
+	rs := []monitor.Reading{
+		reading(0, cluster.TierProxy, 0.05, 0.2, 0.05, 0.02),
+		reading(1, cluster.TierDB, 0.05, 0.2, 0.05, 0.02),
+		reading(2, cluster.TierApp, 0.97, 0.5, 0.3, 0.1),
+	}
+	s := sizes{cluster.TierProxy: 2, cluster.TierDB: 2, cluster.TierApp: 1}
+	c := DefaultCosts()
+	// Node 1 (DB) has many finished jobs pending → cheaper by equation 1.
+	c.Jobs = func(i int) int {
+		if i == 1 {
+			return 500
+		}
+		return 0
+	}
+	c.AvgProc = func(int) float64 { return 1 }
+	c.MoveCost = func(p, q int) float64 { return 0.01 }
+	d, ok := Decide(rs, th(), s, c, order())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Node != 1 {
+		t.Fatalf("picked node %d, want cheapest donor 1", d.Node)
+	}
+}
+
+func TestFallsThroughToNextOverloadedNode(t *testing.T) {
+	// Most urgent hot node has no eligible donor (only donor shares its
+	// tier); the algorithm should relieve the next hot node instead.
+	rs := []monitor.Reading{
+		reading(0, cluster.TierApp, 0.05, 0.1, 0.02, 0.01), // idle app node
+		reading(1, cluster.TierApp, 0.99, 0.5, 0.3, 0.1),   // hot app (most urgent)
+		reading(2, cluster.TierProxy, 0.90, 0.3, 0.3, 0.2), // hot proxy
+	}
+	s := sizes{cluster.TierApp: 2, cluster.TierProxy: 1}
+	d, ok := Decide(rs, th(), s, DefaultCosts(), order())
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.To != cluster.TierProxy || d.Node != 0 {
+		t.Fatalf("decision = %+v, want app node 0 moved to proxy", d)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	rs := []monitor.Reading{
+		reading(3, cluster.TierProxy, 0.05, 0.2, 0.05, 0.02),
+		reading(1, cluster.TierProxy, 0.05, 0.2, 0.05, 0.02),
+		reading(2, cluster.TierApp, 0.97, 0.5, 0.3, 0.1),
+	}
+	s := sizes{cluster.TierProxy: 2, cluster.TierApp: 1}
+	d1, _ := Decide(rs, th(), s, DefaultCosts(), order())
+	d2, _ := Decide(rs, th(), s, DefaultCosts(), order())
+	if d1.Node != d2.Node {
+		t.Fatal("decision not deterministic")
+	}
+}

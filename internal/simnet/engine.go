@@ -1,0 +1,118 @@
+// Package simnet is a deterministic discrete-event simulation engine with
+// the queueing primitives (multi-server stations, token pools) used to model
+// the three-tier web cluster.
+//
+// Time is a float64 number of simulated seconds. Events scheduled for the
+// same instant fire in scheduling order (a monotone sequence number breaks
+// ties), so simulations are fully deterministic.
+package simnet
+
+import "container/heap"
+
+// Engine is the event loop of a simulation. The zero value is ready to use
+// and starts at time 0.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// event is a scheduled callback.
+type event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule arranges for fn to run delay seconds from now. A negative delay
+// is treated as zero. It returns a Timer that can cancel the event.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// At arranges for fn to run at absolute simulated time t; if t is in the
+// past it runs at the current time.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	return e.Schedule(t-e.now, fn)
+}
+
+// Step executes the next pending event and returns true, or returns false
+// if no events remain.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the next event would fire after
+// time t (or no events remain), then advances the clock to exactly t.
+func (e *Engine) RunUntil(t float64) {
+	for e.events.Len() > 0 {
+		// Peek; heap index 0 is the earliest event.
+		next := e.events[0]
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (e *Engine) Pending() int { return e.events.Len() }

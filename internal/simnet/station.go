@@ -1,0 +1,256 @@
+package simnet
+
+// Station models a multi-server FIFO queueing station (e.g. a node's CPU
+// cores or its disk). Jobs arrive with a service demand in seconds; when a
+// server is free the job occupies it for exactly that demand and then the
+// completion callback fires.
+//
+// The station keeps a running integral of busy-server-seconds so callers can
+// compute utilization over measurement windows via snapshots.
+type Station struct {
+	eng     *Engine
+	name    string
+	servers int
+	speed   float64 // service rate multiplier; demand/speed = service time
+
+	busy       int
+	queue      []stationJob
+	busyTime   float64 // integral of busy servers dt, up to lastStamp
+	lastStamp  float64
+	completed  uint64
+	arrived    uint64
+	queuedPeak int
+}
+
+type stationJob struct {
+	demand float64
+	done   func()
+}
+
+// NewStation creates a station with the given number of parallel servers.
+// speed scales service times: a job with demand d takes d/speed seconds.
+func NewStation(eng *Engine, name string, servers int, speed float64) *Station {
+	if servers <= 0 {
+		panic("simnet: station needs at least one server")
+	}
+	if speed <= 0 {
+		panic("simnet: station speed must be positive")
+	}
+	return &Station{eng: eng, name: name, servers: servers, speed: speed, lastStamp: eng.Now()}
+}
+
+// Name returns the station's diagnostic name.
+func (s *Station) Name() string { return s.name }
+
+// Servers returns the number of parallel servers.
+func (s *Station) Servers() int { return s.servers }
+
+// SetSpeed changes the service-rate multiplier for jobs started afterwards.
+// Used to model thrashing slowdowns from memory pressure.
+func (s *Station) SetSpeed(speed float64) {
+	if speed <= 0 {
+		panic("simnet: station speed must be positive")
+	}
+	s.speed = speed
+}
+
+// Speed returns the current service-rate multiplier.
+func (s *Station) Speed() float64 { return s.speed }
+
+func (s *Station) stamp() {
+	now := s.eng.Now()
+	s.busyTime += float64(s.busy) * (now - s.lastStamp)
+	s.lastStamp = now
+}
+
+// Submit enqueues a job with the given service demand; done runs when the
+// job completes service. Demand may be zero, in which case the job still
+// cycles through the queue discipline.
+func (s *Station) Submit(demand float64, done func()) {
+	if demand < 0 {
+		demand = 0
+	}
+	s.arrived++
+	if s.busy < s.servers {
+		s.start(demand, done)
+		return
+	}
+	s.queue = append(s.queue, stationJob{demand: demand, done: done})
+	if len(s.queue) > s.queuedPeak {
+		s.queuedPeak = len(s.queue)
+	}
+}
+
+func (s *Station) start(demand float64, done func()) {
+	s.stamp()
+	s.busy++
+	s.eng.Schedule(demand/s.speed, func() {
+		s.stamp()
+		s.busy--
+		s.completed++
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.start(next.demand, next.done)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Busy returns the number of servers currently serving a job.
+func (s *Station) Busy() int { return s.busy }
+
+// Completed returns the number of jobs that have finished service.
+func (s *Station) Completed() uint64 { return s.completed }
+
+// Arrived returns the number of jobs submitted.
+func (s *Station) Arrived() uint64 { return s.arrived }
+
+// BusyTime returns the cumulative busy-server-seconds up to now.
+func (s *Station) BusyTime() float64 {
+	s.stamp()
+	return s.busyTime
+}
+
+// Utilization returns average utilization in (fromTime, now] given the
+// BusyTime snapshot taken at fromTime. Result is in [0, 1].
+func (s *Station) Utilization(busyAtFrom, fromTime float64) float64 {
+	elapsed := s.eng.Now() - fromTime
+	if elapsed <= 0 {
+		return 0
+	}
+	u := (s.BusyTime() - busyAtFrom) / (elapsed * float64(s.servers))
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Reset clears counters and the queue (jobs in service still complete).
+// Used between measurement iterations when servers are "restarted".
+func (s *Station) Reset() {
+	s.stamp()
+	s.busyTime = 0
+	s.completed = 0
+	s.arrived = 0
+	s.queuedPeak = 0
+	s.queue = nil
+}
+
+// TokenPool is a counting semaphore with a FIFO wait queue of bounded
+// length. It models thread pools (tokens = threads) and connection limits;
+// the wait-queue bound models an accept/backlog queue, with arrivals beyond
+// it rejected.
+type TokenPool struct {
+	eng      *Engine
+	name     string
+	capacity int
+	maxWait  int // -1 means unbounded
+
+	inUse    int
+	waiters  []func()
+	granted  uint64
+	rejected uint64
+	waitPeak int
+}
+
+// NewTokenPool creates a pool of capacity tokens whose wait queue holds at
+// most maxWait requests (maxWait < 0 means unbounded).
+func NewTokenPool(eng *Engine, name string, capacity, maxWait int) *TokenPool {
+	if capacity <= 0 {
+		panic("simnet: token pool needs positive capacity")
+	}
+	return &TokenPool{eng: eng, name: name, capacity: capacity, maxWait: maxWait}
+}
+
+// Name returns the pool's diagnostic name.
+func (p *TokenPool) Name() string { return p.name }
+
+// Capacity returns the number of tokens.
+func (p *TokenPool) Capacity() int { return p.capacity }
+
+// Resize changes the pool capacity. Growing immediately grants tokens to
+// waiters; shrinking takes effect as tokens are released.
+func (p *TokenPool) Resize(capacity int) {
+	if capacity <= 0 {
+		panic("simnet: token pool needs positive capacity")
+	}
+	p.capacity = capacity
+	p.grantWaiters()
+}
+
+// SetMaxWait changes the wait-queue bound (maxWait < 0 means unbounded).
+// Requests already waiting are not evicted.
+func (p *TokenPool) SetMaxWait(maxWait int) { p.maxWait = maxWait }
+
+// Acquire requests a token. If one is free, onGrant runs immediately
+// (synchronously). If the wait queue has room, the request waits FIFO and
+// onGrant runs when a token frees up. Otherwise onReject (if non-nil) runs
+// immediately and the request counts as rejected.
+func (p *TokenPool) Acquire(onGrant func(), onReject func()) {
+	if p.inUse < p.capacity {
+		p.inUse++
+		p.granted++
+		onGrant()
+		return
+	}
+	if p.maxWait >= 0 && len(p.waiters) >= p.maxWait {
+		p.rejected++
+		if onReject != nil {
+			onReject()
+		}
+		return
+	}
+	p.waiters = append(p.waiters, onGrant)
+	if len(p.waiters) > p.waitPeak {
+		p.waitPeak = len(p.waiters)
+	}
+}
+
+// Release returns a token to the pool, waking the oldest waiter if any.
+func (p *TokenPool) Release() {
+	if p.inUse <= 0 {
+		panic("simnet: Release without matching Acquire on pool " + p.name)
+	}
+	p.inUse--
+	p.grantWaiters()
+}
+
+func (p *TokenPool) grantWaiters() {
+	for p.inUse < p.capacity && len(p.waiters) > 0 {
+		onGrant := p.waiters[0]
+		copy(p.waiters, p.waiters[1:])
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		p.inUse++
+		p.granted++
+		onGrant()
+	}
+}
+
+// InUse returns the number of tokens currently held.
+func (p *TokenPool) InUse() int { return p.inUse }
+
+// Waiting returns the number of requests in the wait queue.
+func (p *TokenPool) Waiting() int { return len(p.waiters) }
+
+// Granted returns the number of successful acquisitions so far.
+func (p *TokenPool) Granted() uint64 { return p.granted }
+
+// Rejected returns the number of rejected acquisitions so far.
+func (p *TokenPool) Rejected() uint64 { return p.rejected }
+
+// ResetCounters zeroes the granted/rejected counters (state is preserved).
+func (p *TokenPool) ResetCounters() {
+	p.granted = 0
+	p.rejected = 0
+	p.waitPeak = 0
+}

@@ -1,0 +1,165 @@
+package simplex
+
+import (
+	"math"
+
+	"webharmony/internal/param"
+	"webharmony/internal/rng"
+)
+
+// SimulatedAnnealing is an ask/tell annealer over the parameter lattice.
+// The paper's related work (Nimrod/O) applies simulated annealing to the
+// same kind of search; it is included as a comparison algorithm. Proposals
+// perturb a random subset of coordinates of the current point by a
+// temperature-scaled step; worse results are accepted with the Metropolis
+// probability, and the temperature decays geometrically per evaluation.
+type SimulatedAnnealing struct {
+	space *param.Space
+	src   *rng.Source
+
+	temp    float64 // current temperature, in unit-cube distance
+	cooling float64 // per-evaluation temperature multiplier
+	minTemp float64
+
+	current     []float64 // unit-cube position of the accepted point
+	currentCost float64
+	haveCurrent bool
+
+	pending []float64
+	asked   bool
+	first   bool
+
+	best     param.Config
+	bestCost float64
+	haveBest bool
+	evals    int
+
+	// scale converts cost differences into acceptance probabilities; it
+	// adapts to the observed cost magnitudes.
+	scale float64
+}
+
+// AnnealingOptions configures a SimulatedAnnealing tuner. Zero fields take
+// defaults (initial temperature 0.25, cooling 0.97, minimum 0.01).
+type AnnealingOptions struct {
+	InitTemp float64
+	Cooling  float64
+	MinTemp  float64
+	Seed     uint64
+}
+
+func (o AnnealingOptions) withDefaults() AnnealingOptions {
+	if o.InitTemp == 0 {
+		o.InitTemp = 0.25
+	}
+	if o.Cooling == 0 {
+		o.Cooling = 0.97
+	}
+	if o.MinTemp == 0 {
+		o.MinTemp = 0.01
+	}
+	return o
+}
+
+// NewSimulatedAnnealing creates an annealer anchored at the space default.
+func NewSimulatedAnnealing(space *param.Space, opts AnnealingOptions) *SimulatedAnnealing {
+	opts = opts.withDefaults()
+	sa := &SimulatedAnnealing{
+		space:   space,
+		src:     rng.New(opts.Seed ^ 0xa77ea1),
+		temp:    opts.InitTemp,
+		cooling: opts.Cooling,
+		minTemp: opts.MinTemp,
+		first:   true,
+	}
+	sa.current = space.Normalize(space.DefaultConfig())
+	return sa
+}
+
+// Ask returns the next configuration to evaluate.
+func (sa *SimulatedAnnealing) Ask() param.Config {
+	if sa.asked {
+		panic("simplex: Ask called twice without Tell")
+	}
+	sa.asked = true
+	if sa.first {
+		sa.pending = append([]float64(nil), sa.current...)
+		return sa.space.Denormalize(sa.pending)
+	}
+	// Perturb a random non-empty subset of coordinates.
+	u := append([]float64(nil), sa.current...)
+	k := 1 + sa.src.Intn(len(u))
+	for _, i := range sa.src.Perm(len(u))[:k] {
+		u[i] += sa.src.Normal(0, sa.temp)
+	}
+	sa.pending = clampCube(u)
+	return sa.space.Denormalize(sa.pending)
+}
+
+// Tell reports the cost (lower is better) for the last proposal.
+func (sa *SimulatedAnnealing) Tell(cost float64) {
+	if !sa.asked {
+		panic("simplex: Tell without Ask")
+	}
+	sa.asked = false
+	sa.evals++
+	cfg := sa.space.Denormalize(sa.pending)
+	if !sa.haveBest || cost < sa.bestCost {
+		sa.best = cfg.Clone()
+		sa.bestCost = cost
+		sa.haveBest = true
+	}
+	if sa.first {
+		sa.first = false
+		sa.currentCost = cost
+		sa.haveCurrent = true
+		sa.scale = math.Abs(cost)/10 + 1e-9
+		return
+	}
+	accept := cost <= sa.currentCost
+	if !accept {
+		// Metropolis criterion on the adaptive cost scale.
+		p := math.Exp(-(cost - sa.currentCost) / (sa.scale * sa.temp * 4))
+		accept = sa.src.Bernoulli(p)
+	}
+	if accept {
+		sa.current = append(sa.current[:0], sa.pending...)
+		sa.currentCost = cost
+	}
+	sa.temp *= sa.cooling
+	if sa.temp < sa.minTemp {
+		sa.temp = sa.minTemp
+	}
+}
+
+// Best returns the best configuration seen so far.
+func (sa *SimulatedAnnealing) Best() (param.Config, float64, bool) {
+	if !sa.haveBest {
+		return sa.space.DefaultConfig(), 0, false
+	}
+	return sa.best.Clone(), sa.bestCost, true
+}
+
+// Reset re-anchors the annealer at the given configuration and reheats.
+func (sa *SimulatedAnnealing) Reset(around param.Config) {
+	anchor := around.Clone()
+	sa.space.Clamp(anchor)
+	sa.current = sa.space.Normalize(anchor)
+	sa.asked = false
+	sa.haveBest = false
+	sa.haveCurrent = false
+	sa.first = true
+	sa.temp = 0.25
+}
+
+// Converged reports whether the temperature has cooled to the point where
+// proposals rarely leave the current lattice point.
+func (sa *SimulatedAnnealing) Converged() bool { return sa.temp <= sa.minTemp }
+
+// Evaluations returns the number of completed Ask/Tell cycles.
+func (sa *SimulatedAnnealing) Evaluations() int { return sa.evals }
+
+// Temperature returns the current annealing temperature (diagnostic).
+func (sa *SimulatedAnnealing) Temperature() float64 { return sa.temp }
+
+var _ Tuner = (*SimulatedAnnealing)(nil)

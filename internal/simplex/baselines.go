@@ -1,0 +1,232 @@
+package simplex
+
+import (
+	"webharmony/internal/param"
+	"webharmony/internal/rng"
+)
+
+// RandomSearch proposes uniform random lattice points, remembering the best.
+// It is the naive baseline the simplex method is compared against in the
+// ablation benchmarks.
+type RandomSearch struct {
+	space    *param.Space
+	src      *rng.Source
+	pending  param.Config
+	asked    bool
+	best     param.Config
+	bestCost float64
+	haveBest bool
+	evals    int
+	first    bool
+}
+
+// NewRandomSearch creates a random-search tuner; the first proposal is the
+// space default so the baseline configuration is always measured.
+func NewRandomSearch(space *param.Space, seed uint64) *RandomSearch {
+	return &RandomSearch{space: space, src: rng.New(seed ^ 0xdecafbad), first: true}
+}
+
+// Ask returns the next configuration to evaluate.
+func (r *RandomSearch) Ask() param.Config {
+	if r.asked {
+		panic("simplex: Ask called twice without Tell")
+	}
+	r.asked = true
+	if r.first {
+		r.first = false
+		r.pending = r.space.DefaultConfig()
+		return r.pending.Clone()
+	}
+	u := make([]float64, r.space.Len())
+	for i := range u {
+		u[i] = r.src.Float64()
+	}
+	r.pending = r.space.Denormalize(u)
+	return r.pending.Clone()
+}
+
+// Tell reports the cost for the last proposal.
+func (r *RandomSearch) Tell(cost float64) {
+	if !r.asked {
+		panic("simplex: Tell without Ask")
+	}
+	r.asked = false
+	r.evals++
+	if !r.haveBest || cost < r.bestCost {
+		r.best = r.pending.Clone()
+		r.bestCost = cost
+		r.haveBest = true
+	}
+}
+
+// Best returns the best configuration seen so far.
+func (r *RandomSearch) Best() (param.Config, float64, bool) {
+	if !r.haveBest {
+		return r.space.DefaultConfig(), 0, false
+	}
+	return r.best.Clone(), r.bestCost, true
+}
+
+// Reset discards history; random search has no positional state to recenter.
+func (r *RandomSearch) Reset(around param.Config) {
+	r.asked = false
+	r.haveBest = false
+	r.first = true
+}
+
+// Converged always reports false: random search never stops proposing.
+func (r *RandomSearch) Converged() bool { return false }
+
+// Evaluations returns the number of completed Ask/Tell cycles.
+func (r *RandomSearch) Evaluations() int { return r.evals }
+
+// CoordinateSearch is a cyclic hill climber: it sweeps one parameter at a
+// time, trying the current value plus and minus a step, keeping whichever
+// improves, and halving the step when a full sweep yields no improvement.
+// It models "tune each knob independently" — the manual strategy the paper
+// argues against for coupled systems.
+type CoordinateSearch struct {
+	space   *param.Space
+	current param.Config
+	curCost float64
+	haveCur bool
+
+	dim      int
+	dir      int // +1 then -1 per dimension
+	step     []float64
+	improved bool
+
+	pending  param.Config
+	asked    bool
+	best     param.Config
+	bestCost float64
+	haveBest bool
+	evals    int
+	phase    int // 0: evaluate current; 1: probing
+}
+
+// NewCoordinateSearch creates a coordinate-descent tuner anchored at the
+// space default. initialStep is in unit-cube units (0 uses 0.25).
+func NewCoordinateSearch(space *param.Space, initialStep float64) *CoordinateSearch {
+	if initialStep <= 0 {
+		initialStep = 0.25
+	}
+	steps := make([]float64, space.Len())
+	for i := range steps {
+		steps[i] = initialStep
+	}
+	return &CoordinateSearch{
+		space:   space,
+		current: space.DefaultConfig(),
+		step:    steps,
+		dir:     1,
+	}
+}
+
+// Ask returns the next configuration to evaluate.
+func (c *CoordinateSearch) Ask() param.Config {
+	if c.asked {
+		panic("simplex: Ask called twice without Tell")
+	}
+	c.asked = true
+	if c.phase == 0 {
+		c.pending = c.current.Clone()
+		return c.pending.Clone()
+	}
+	u := c.space.Normalize(c.current)
+	u[c.dim] += float64(c.dir) * c.step[c.dim]
+	c.pending = c.space.Denormalize(clampCube(u))
+	return c.pending.Clone()
+}
+
+// Tell reports the cost for the last proposal.
+func (c *CoordinateSearch) Tell(cost float64) {
+	if !c.asked {
+		panic("simplex: Tell without Ask")
+	}
+	c.asked = false
+	c.evals++
+	if !c.haveBest || cost < c.bestCost {
+		c.best = c.pending.Clone()
+		c.bestCost = cost
+		c.haveBest = true
+	}
+	if c.phase == 0 {
+		c.curCost = cost
+		c.haveCur = true
+		c.phase = 1
+		return
+	}
+	if cost < c.curCost {
+		c.current = c.pending.Clone()
+		c.curCost = cost
+		c.improved = true
+	}
+	c.advance()
+}
+
+func (c *CoordinateSearch) advance() {
+	if c.dir == 1 {
+		c.dir = -1
+		return
+	}
+	c.dir = 1
+	c.dim++
+	if c.dim >= c.space.Len() {
+		c.dim = 0
+		if !c.improved {
+			for i := range c.step {
+				c.step[i] /= 2
+			}
+		}
+		c.improved = false
+	}
+}
+
+// Best returns the best configuration seen so far.
+func (c *CoordinateSearch) Best() (param.Config, float64, bool) {
+	if !c.haveBest {
+		return c.space.DefaultConfig(), 0, false
+	}
+	return c.best.Clone(), c.bestCost, true
+}
+
+// Reset re-anchors the search at the given configuration.
+func (c *CoordinateSearch) Reset(around param.Config) {
+	c.asked = false
+	c.haveBest = false
+	c.haveCur = false
+	c.current = around.Clone()
+	c.space.Clamp(c.current)
+	c.dim = 0
+	c.dir = 1
+	c.phase = 0
+	for i := range c.step {
+		c.step[i] = 0.25
+	}
+}
+
+// Converged reports whether the probe step has collapsed below one lattice
+// level for every parameter.
+func (c *CoordinateSearch) Converged() bool {
+	for i, d := range c.space.Defs() {
+		span := float64(d.Max - d.Min)
+		if span == 0 {
+			continue
+		}
+		if c.step[i]*span >= float64(d.Step) {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluations returns the number of completed Ask/Tell cycles.
+func (c *CoordinateSearch) Evaluations() int { return c.evals }
+
+// Compile-time interface checks.
+var (
+	_ Tuner = (*NelderMead)(nil)
+	_ Tuner = (*RandomSearch)(nil)
+	_ Tuner = (*CoordinateSearch)(nil)
+)

@@ -1,0 +1,130 @@
+package stats
+
+import "math"
+
+// Analysis helpers for simulation output: smoothing, initialization-bias
+// truncation, and correlation diagnostics. These back the experiment
+// reports (smoothing the Figure 5 series, deciding how much warm-up an
+// iteration window needs).
+
+// MovingAverage returns the centered moving average of vs with the given
+// window (clamped to the available points near the edges). An empty input
+// or window < 1 returns a copy/nil respectively.
+func MovingAverage(vs []float64, window int) []float64 {
+	if window < 1 || len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs))
+	half := window / 2
+	for i := range vs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(vs) {
+			hi = len(vs) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += vs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// EWMA returns the exponentially weighted moving average of vs with
+// smoothing factor alpha in (0, 1].
+func EWMA(vs []float64, alpha float64) []float64 {
+	if len(vs) == 0 || alpha <= 0 || alpha > 1 {
+		return nil
+	}
+	out := make([]float64, len(vs))
+	out[0] = vs[0]
+	for i := 1; i < len(vs); i++ {
+		out[i] = alpha*vs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of vs, in
+// [-1, 1]. It returns 0 for degenerate inputs (k out of range, constant
+// series).
+func Autocorrelation(vs []float64, k int) float64 {
+	n := len(vs)
+	if k <= 0 || k >= n {
+		return 0
+	}
+	mean := MeanOf(vs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := vs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-k; i++ {
+		num += (vs[i] - mean) * (vs[i+k] - mean)
+	}
+	return num / den
+}
+
+// MSERTruncation returns the warm-up truncation point suggested by the
+// MSER (Marginal Standard Error Rule) heuristic: the prefix length d that
+// minimizes the squared standard error of the remaining observations.
+// The search is limited to the first half of the series, per standard
+// practice. It returns 0 for series shorter than 4 observations.
+func MSERTruncation(vs []float64) int {
+	n := len(vs)
+	if n < 4 {
+		return 0
+	}
+	bestD, bestScore := 0, math.Inf(1)
+	for d := 0; d <= n/2; d++ {
+		m := n - d
+		tail := vs[d:]
+		mean := MeanOf(tail)
+		var ss float64
+		for _, v := range tail {
+			dd := v - mean
+			ss += dd * dd
+		}
+		score := ss / float64(m) / float64(m)
+		if score < bestScore {
+			bestScore = score
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+// SteadyStateMean truncates the series at the MSER point and returns the
+// mean of the remainder — a bias-corrected estimate of the steady-state
+// level of a simulation output series.
+func SteadyStateMean(vs []float64) float64 {
+	d := MSERTruncation(vs)
+	return MeanOf(vs[d:])
+}
+
+// Linreg fits y = a + b·x by least squares over the paired samples and
+// returns (a, b). Mismatched or empty inputs return zeros.
+func Linreg(xs, ys []float64) (a, b float64) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0, 0
+	}
+	mx, my := MeanOf(xs), MeanOf(ys)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return my, 0
+	}
+	b = num / den
+	a = my - b*mx
+	return a, b
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"webharmony/internal/rng"
+)
+
+func TestMovingAverageFlat(t *testing.T) {
+	vs := []float64{5, 5, 5, 5, 5}
+	for _, v := range MovingAverage(vs, 3) {
+		if v != 5 {
+			t.Fatalf("flat series smoothed to %v", v)
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	vs := []float64{0, 10, 0, 10, 0, 10}
+	sm := MovingAverage(vs, 3)
+	// Interior points average their neighbourhood.
+	if math.Abs(sm[2]-20.0/3) > 1e-9 {
+		t.Fatalf("sm[2] = %v", sm[2])
+	}
+	if len(sm) != len(vs) {
+		t.Fatal("length changed")
+	}
+	if MovingAverage(nil, 3) != nil || MovingAverage(vs, 0) != nil {
+		t.Fatal("degenerate inputs should return nil")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	vs := []float64{1, 1, 1, 10}
+	e := EWMA(vs, 0.5)
+	if e[0] != 1 || e[3] <= e[2] {
+		t.Fatalf("EWMA = %v", e)
+	}
+	if EWMA(vs, 0) != nil || EWMA(vs, 1.5) != nil || EWMA(nil, 0.5) != nil {
+		t.Fatal("degenerate inputs should return nil")
+	}
+	// alpha=1 reproduces the input.
+	for i, v := range EWMA(vs, 1) {
+		if v != vs[i] {
+			t.Fatal("alpha=1 should be identity")
+		}
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Alternating series: strong negative lag-1 correlation.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if r := Autocorrelation(alt, 1); r > -0.7 {
+		t.Fatalf("alternating lag-1 autocorrelation = %v, want strongly negative", r)
+	}
+	// Perfectly correlated at lag 2.
+	if r := Autocorrelation(alt, 2); r < 0.7 {
+		t.Fatalf("alternating lag-2 autocorrelation = %v, want strongly positive", r)
+	}
+	// White noise: near zero.
+	src := rng.New(5)
+	noise := make([]float64, 2000)
+	for i := range noise {
+		noise[i] = src.Normal(0, 1)
+	}
+	if r := Autocorrelation(noise, 1); math.Abs(r) > 0.1 {
+		t.Fatalf("white-noise lag-1 autocorrelation = %v", r)
+	}
+	// Degenerate inputs.
+	if Autocorrelation(alt, 0) != 0 || Autocorrelation(alt, 99) != 0 {
+		t.Fatal("out-of-range lags should be 0")
+	}
+	if Autocorrelation([]float64{3, 3, 3, 3}, 1) != 0 {
+		t.Fatal("constant series should be 0")
+	}
+}
+
+func TestMSERTruncationFindsWarmup(t *testing.T) {
+	// A series that ramps up for 20 points then is steady noise around 100.
+	src := rng.New(9)
+	var vs []float64
+	for i := 0; i < 20; i++ {
+		vs = append(vs, 5*float64(i))
+	}
+	for i := 0; i < 80; i++ {
+		vs = append(vs, 100+src.Normal(0, 1))
+	}
+	d := MSERTruncation(vs)
+	if d < 10 || d > 30 {
+		t.Fatalf("MSER truncation = %d, want ≈20", d)
+	}
+	m := SteadyStateMean(vs)
+	if math.Abs(m-100) > 2 {
+		t.Fatalf("steady-state mean = %v, want ≈100", m)
+	}
+}
+
+func TestMSERTruncationSteadySeries(t *testing.T) {
+	src := rng.New(11)
+	vs := make([]float64, 100)
+	for i := range vs {
+		vs[i] = 50 + src.Normal(0, 1)
+	}
+	if d := MSERTruncation(vs); d > 40 {
+		t.Fatalf("steady series truncated at %d", d)
+	}
+	if MSERTruncation([]float64{1, 2}) != 0 {
+		t.Fatal("short series should not truncate")
+	}
+}
+
+func TestLinreg(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b := Linreg(xs, ys)
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Fatalf("fit = %v + %v x", a, b)
+	}
+	// Degenerate: constant x.
+	a, b = Linreg([]float64{2, 2}, []float64{1, 3})
+	if b != 0 || a != 2 {
+		t.Fatalf("constant-x fit = %v + %v x", a, b)
+	}
+	if a, b := Linreg(nil, nil); a != 0 || b != 0 {
+		t.Fatal("empty fit should be zero")
+	}
+}

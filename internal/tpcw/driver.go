@@ -1,0 +1,183 @@
+package tpcw
+
+import (
+	"webharmony/internal/rng"
+	"webharmony/internal/simnet"
+	"webharmony/internal/stats"
+	"webharmony/internal/webobj"
+)
+
+// Site serves complete page requests; the web-cluster simulator implements
+// it. done(ok) must fire exactly once; ok=false means the request was shed
+// somewhere in the pipeline.
+type Site interface {
+	Request(pr PageRequest, done func(ok bool))
+}
+
+// DriverOptions configures the emulated-browser driver.
+type DriverOptions struct {
+	Browsers  int // number of emulated browsers (EBs)
+	Workload  Workload
+	ThinkMean float64 // mean exponential think time, seconds (TPC-W: 7)
+	Seed      uint64
+
+	// Sessions switches each browser from i.i.d. Table 1 draws to a
+	// per-browser walk of the TPC-W session graph (same steady-state mix,
+	// realistic request sequences).
+	Sessions bool
+}
+
+func (o DriverOptions) withDefaults() DriverOptions {
+	if o.Browsers == 0 {
+		o.Browsers = 100
+	}
+	if o.ThinkMean == 0 {
+		o.ThinkMean = 7
+	}
+	return o
+}
+
+// Counters accumulates completed-interaction counts for a measurement
+// window.
+type Counters struct {
+	Completed [NumInteractions]uint64
+	Browse    uint64 // completed browse-class interactions
+	Order     uint64 // completed order-class interactions
+	Errors    uint64 // shed/failed interactions
+}
+
+// Total returns the total completed interactions.
+func (c Counters) Total() uint64 { return c.Browse + c.Order }
+
+// WIPS returns web interactions per second over a window of the given
+// duration.
+func (c Counters) WIPS(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(c.Total()) / seconds
+}
+
+// ErrorRate returns errors / (errors + completed).
+func (c Counters) ErrorRate() float64 {
+	t := float64(c.Total()) + float64(c.Errors)
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Errors) / t
+}
+
+// Driver runs the emulated browsers against a Site.
+type Driver struct {
+	eng      *simnet.Engine
+	site     Site
+	gen      *PageGen
+	opts     DriverOptions
+	sampler  *Sampler
+	sessions []*SessionSampler // per-browser walks (Sessions mode)
+	think    []*rng.Source     // per-browser think-time streams
+	running  bool
+	ctr      Counters
+	resp     stats.Sample // response times of completed interactions
+}
+
+// NewDriver creates a driver over the catalog. Browsers are not started
+// until Start.
+func NewDriver(eng *simnet.Engine, site Site, cat *webobj.Catalog, opts DriverOptions) *Driver {
+	opts = opts.withDefaults()
+	root := rng.New(opts.Seed ^ 0x7e57ab1e)
+	d := &Driver{
+		eng:     eng,
+		site:    site,
+		gen:     NewPageGen(cat, root.Split(100)),
+		opts:    opts,
+		sampler: NewSampler(opts.Workload, root.Split(200)),
+	}
+	d.think = make([]*rng.Source, opts.Browsers)
+	for i := range d.think {
+		d.think[i] = root.Split(uint64(300 + i))
+	}
+	if opts.Sessions {
+		d.sessions = make([]*SessionSampler, opts.Browsers)
+		for i := range d.sessions {
+			d.sessions[i] = NewSessionSampler(opts.Workload, root.Split(uint64(900000+i)))
+		}
+	}
+	return d
+}
+
+// Start launches the emulated browsers; each starts with a random initial
+// think offset so arrivals are not synchronized.
+func (d *Driver) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	for i := 0; i < d.opts.Browsers; i++ {
+		i := i
+		d.eng.Schedule(d.think[i].Uniform(0, d.opts.ThinkMean), func() { d.browse(i) })
+	}
+}
+
+// Stop halts request issuing: browsers finish their in-flight interaction
+// and then go idle. Used when an iteration's cool-down begins.
+func (d *Driver) Stop() { d.running = false }
+
+// Running reports whether browsers are issuing requests.
+func (d *Driver) Running() bool { return d.running }
+
+// SetWorkload switches the interaction mix (the Figure 5 experiment).
+func (d *Driver) SetWorkload(w Workload) {
+	d.opts.Workload = w
+	d.sampler.SetWorkload(w)
+	for _, s := range d.sessions {
+		s.SetWorkload(w)
+	}
+}
+
+// Workload returns the current workload.
+func (d *Driver) Workload() Workload { return d.opts.Workload }
+
+// browse runs one emulated browser's think/request loop.
+func (d *Driver) browse(eb int) {
+	if !d.running {
+		return
+	}
+	var it Interaction
+	if d.sessions != nil {
+		it = d.sessions[eb].Next()
+	} else {
+		it = d.sampler.Next()
+	}
+	pr := d.gen.Page(it, eb)
+	issued := d.eng.Now()
+	d.site.Request(pr, func(ok bool) {
+		if ok {
+			d.resp.Add(d.eng.Now() - issued)
+			d.ctr.Completed[it]++
+			if it.Class() == ClassBrowse {
+				d.ctr.Browse++
+			} else {
+				d.ctr.Order++
+			}
+		} else {
+			d.ctr.Errors++
+		}
+		// Think, then issue the next interaction.
+		d.eng.Schedule(d.think[eb].Exp(d.opts.ThinkMean), func() { d.browse(eb) })
+	})
+}
+
+// Counters returns the accumulated counters.
+func (d *Driver) Counters() Counters { return d.ctr }
+
+// ResetCounters zeroes the counters and response-time sample (start of a
+// measurement window).
+func (d *Driver) ResetCounters() {
+	d.ctr = Counters{}
+	d.resp = stats.Sample{}
+}
+
+// ResponseTimes returns the response-time sample of the current window.
+// Callers must not retain it across ResetCounters.
+func (d *Driver) ResponseTimes() *stats.Sample { return &d.resp }

@@ -1,0 +1,184 @@
+// Package webobj models the population of web objects served by the
+// simulated TPC-W store: static pages, product images and dynamically
+// generated pages. Object sizes are deterministic functions of the object
+// ID, so the catalog needs no storage proportional to its size, and
+// popularity follows a Zipf distribution as observed for web traffic.
+package webobj
+
+import "webharmony/internal/rng"
+
+// Kind classifies an object by how it is produced and whether a proxy may
+// cache it.
+type Kind int
+
+const (
+	// KindStatic is a fixed HTML page or style asset; always cacheable.
+	KindStatic Kind = iota
+	// KindImage is a product image; cacheable and comparatively large.
+	KindImage
+	// KindDynamic is generated per request by the application server
+	// (possibly with database queries); never cacheable.
+	KindDynamic
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindImage:
+		return "image"
+	case KindDynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// Object is one addressable web object.
+type Object struct {
+	ID   uint64
+	Kind Kind
+	Size int64 // bytes
+}
+
+// Cacheable reports whether a proxy is allowed to cache the object.
+func (o Object) Cacheable() bool { return o.Kind != KindDynamic }
+
+// Catalog describes the object population for a store of a given TPC-W
+// scale factor (number of items). Objects are identified by dense IDs:
+//
+//	[0, nStatic)                      static pages
+//	[nStatic, nStatic+nImages)        product images (several per item)
+//	[nStatic+nImages, Total)          dynamic page identities
+type Catalog struct {
+	scale    int
+	nStatic  uint64
+	nImages  uint64
+	nDynamic uint64
+	sizeSeed uint64
+}
+
+// ImagesPerItem is the number of product images per catalog item
+// (thumbnail and full size, per the TPC-W page layouts).
+const ImagesPerItem = 2
+
+// NewCatalog creates the object population for a store selling scale items
+// (the paper uses scale = 10,000). sizeSeed makes object sizes
+// reproducible.
+func NewCatalog(scale int, sizeSeed uint64) *Catalog {
+	if scale <= 0 {
+		panic("webobj: scale must be positive")
+	}
+	return &Catalog{
+		scale:    scale,
+		nStatic:  uint64(scale)/10 + 50, // site chrome + per-category pages
+		nImages:  uint64(scale) * ImagesPerItem,
+		nDynamic: uint64(scale) + 1000, // product-detail and result pages
+		sizeSeed: sizeSeed,
+	}
+}
+
+// Scale returns the catalog's item count.
+func (c *Catalog) Scale() int { return c.scale }
+
+// Total returns the total number of distinct objects.
+func (c *Catalog) Total() uint64 { return c.nStatic + c.nImages + c.nDynamic }
+
+// CacheableTotal returns the number of proxy-cacheable objects.
+func (c *Catalog) CacheableTotal() uint64 { return c.nStatic + c.nImages }
+
+// Object returns the object with the given ID. Sizes are deterministic:
+// the same (catalog seed, ID) always yields the same size.
+func (c *Catalog) Object(id uint64) Object {
+	if id >= c.Total() {
+		panic("webobj: object ID out of range")
+	}
+	// Derive a per-object random source from the ID.
+	src := rng.New(c.sizeSeed ^ (id * 0x9e3779b97f4a7c15) ^ 0xC0FFEE)
+	switch {
+	case id < c.nStatic:
+		// Static pages: 2–30 KB, log-normal-ish.
+		size := int64(src.LogNormal(8.8, 0.6)) // median ≈ 6.6 KB
+		return Object{ID: id, Kind: KindStatic, Size: clampSize(size, 1<<10, 60<<10)}
+	case id < c.nStatic+c.nImages:
+		// Images: heavy-tailed Pareto, 2 KB – 512 KB (thumbnails dominate).
+		size := int64(src.Pareto(3<<10, 1.5))
+		return Object{ID: id, Kind: KindImage, Size: clampSize(size, 2<<10, 512<<10)}
+	default:
+		// Dynamic pages: 4–40 KB of generated HTML.
+		size := int64(src.LogNormal(9.3, 0.5)) // median ≈ 11 KB
+		return Object{ID: id, Kind: KindDynamic, Size: clampSize(size, 2<<10, 80<<10)}
+	}
+}
+
+func clampSize(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Popularity draws cacheable object references with Zipf popularity. The
+// permutation of ranks to IDs is derived from the seed so that popular
+// objects are spread across static pages and images.
+type Popularity struct {
+	cat  *Catalog
+	zipf *rng.Zipf
+	// rank → object id mapping via a cheap deterministic permutation
+	a, b uint64
+	n    uint64
+}
+
+// NewPopularity creates a Zipf popularity sampler over the catalog's
+// cacheable objects with exponent theta (use ≈ 0.8–0.99 for web traffic).
+func NewPopularity(cat *Catalog, src *rng.Source, theta float64) *Popularity {
+	n := cat.CacheableTotal()
+	p := &Popularity{
+		cat:  cat,
+		zipf: rng.NewZipf(src, n, theta),
+		n:    n,
+	}
+	// Affine permutation rank → id: a must be odd and coprime with n is
+	// not required since we mod by n after multiply with odd a on a prime
+	// extension; use a simple multiply-xor then mod, which is a uniform
+	// (if not bijective) spreading. To guarantee a bijection we use
+	// a = odd, over 2^k >= n with cycle-walking.
+	p.a = src.Uint64() | 1
+	p.b = src.Uint64()
+	return p
+}
+
+// pow2At returns the smallest power of two >= n.
+func pow2At(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// rankToID maps a popularity rank to an object ID bijectively using an
+// affine permutation over the next power of two with cycle-walking.
+func (p *Popularity) rankToID(rank uint64) uint64 {
+	m := pow2At(p.n)
+	x := rank
+	for {
+		x = (x*p.a + p.b) & (m - 1)
+		if x < p.n {
+			return x
+		}
+	}
+}
+
+// Next draws the next referenced cacheable object.
+func (p *Popularity) Next() Object {
+	rank := p.zipf.Next()
+	return p.cat.Object(p.rankToID(rank))
+}
+
+// N returns the number of objects the sampler draws from.
+func (p *Popularity) N() uint64 { return p.n }

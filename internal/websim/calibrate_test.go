@@ -1,0 +1,32 @@
+package websim
+
+import (
+	"testing"
+
+	"webharmony/internal/tpcw"
+)
+
+// TestCalibrationReport is a diagnostic: it prints the default-config WIPS
+// for each workload on the 4-machine (1/1/1) setup so the cost models can
+// be sanity-checked. It never fails unless throughput is zero.
+func TestCalibrationReport(t *testing.T) {
+	for _, w := range tpcw.Workloads() {
+		sys := New(Options{ProxyNodes: 1, AppNodes: 1, DBNodes: 1, Seed: 1})
+		d := tpcw.NewDriver(sys.Eng, sys, sys.Catalog, tpcw.DriverOptions{
+			Browsers: 550, Workload: w, ThinkMean: 2.0, Seed: 2,
+		})
+		m := Measure(sys, d, 20, 100, 5)
+		t.Logf("%v: WIPS=%.1f (b=%.1f o=%.1f) err=%.3f", w, m.WIPS, m.WIPSb, m.WIPSo, m.ErrorRate)
+		if m.WIPS == 0 {
+			t.Fatalf("%v: zero throughput", w)
+		}
+		// Utilization snapshot for the report.
+		for _, n := range sys.Cluster.Nodes() {
+			snap := n.Snapshot()
+			sys.Eng.RunUntil(sys.Eng.Now() + 20)
+			u := n.Utilization(snap)
+			t.Logf("  %s(%v): cpu=%.2f disk=%.2f net=%.2f mem=%.2f",
+				n.Name(), n.Tier(), u[0], u[3], u[2], u[1])
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package websim
+
+import "webharmony/internal/tpcw"
+
+// Measurement summarizes one measurement window.
+type Measurement struct {
+	WIPS      float64 // completed web interactions per second
+	WIPSb     float64 // browse-class interactions per second
+	WIPSo     float64 // order-class interactions per second
+	ErrorRate float64
+	Counters  tpcw.Counters
+	LineWIPS  []float64 // per-work-line WIPS (nil without work lines)
+
+	// Response-time statistics over the measurement window, seconds.
+	RespMean float64
+	RespP50  float64
+	RespP90  float64
+	RespP99  float64
+}
+
+// Measure runs one paper-style iteration window against the system: warm
+// seconds of warm-up, measure seconds of measurement, cool seconds of
+// cool-down. The driver keeps running across calls; the caller typically
+// invokes System.Restart between iterations to apply a new configuration.
+func Measure(sys *System, d *tpcw.Driver, warm, measure, cool float64) Measurement {
+	if !d.Running() {
+		d.Start()
+	}
+	eng := sys.Eng
+	eng.RunUntil(eng.Now() + warm)
+	d.ResetCounters()
+	sys.ResetCounters()
+	eng.RunUntil(eng.Now() + measure)
+	c := d.Counters()
+	rt := d.ResponseTimes()
+	m := Measurement{
+		WIPS:      c.WIPS(measure),
+		WIPSb:     float64(c.Browse) / measure,
+		WIPSo:     float64(c.Order) / measure,
+		ErrorRate: c.ErrorRate(),
+		Counters:  c,
+		RespMean:  rt.Mean(),
+		RespP50:   rt.Percentile(50),
+		RespP90:   rt.Percentile(90),
+		RespP99:   rt.Percentile(99),
+	}
+	if lines := sys.WorkLines(); lines > 0 {
+		m.LineWIPS = make([]float64, lines)
+		for l := 0; l < lines; l++ {
+			m.LineWIPS[l] = float64(sys.LineCompleted(l)) / measure
+		}
+	}
+	eng.RunUntil(eng.Now() + cool)
+	return m
+}

@@ -1,0 +1,582 @@
+// Package websim wires the substrate models — cluster nodes, the proxy
+// cache tier, the application-server tier, the database tier and the TPC-W
+// object catalog — into one simulated cluster-based e-commerce site. It
+// implements tpcw.Site: emulated browsers issue page requests, pages flow
+// through the tier pipeline exactly as described in §II.A of the paper
+// (tier 1 serves cacheable content, tiers 1+2 serve generated pages,
+// tiers 1+2+3 serve transactional pages), and the measured output is WIPS.
+//
+// The simulator is the stand-in for the paper's 10-machine testbed: the
+// Active Harmony layers above it only ever see (configuration → measured
+// performance), so any system with the same qualitative response surfaces
+// reproduces the tuning behaviour.
+package websim
+
+import (
+	"fmt"
+
+	"webharmony/internal/appserver"
+	"webharmony/internal/cluster"
+	"webharmony/internal/db"
+	"webharmony/internal/param"
+	"webharmony/internal/proxy"
+	"webharmony/internal/rng"
+	"webharmony/internal/simnet"
+	"webharmony/internal/tpcw"
+	"webharmony/internal/webobj"
+)
+
+// Options configures a simulated site.
+type Options struct {
+	ProxyNodes int // nodes initially in the proxy tier
+	AppNodes   int // nodes initially in the application tier
+	DBNodes    int // nodes initially in the database tier
+
+	Scale          int    // TPC-W scale factor (items); paper: 10,000
+	Seed           uint64 // master seed for all stochastic components
+	ProxyDiskBytes int64  // proxy disk-store capacity per node
+
+	// WorkLines > 0 partitions the cluster into that many independent
+	// work lines (§III.B parameter partitioning): a request is served
+	// entirely by the nodes of one line.
+	WorkLines int
+
+	Hardware cluster.Hardware // zero value uses the paper's machines
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProxyNodes == 0 {
+		o.ProxyNodes = 1
+	}
+	if o.AppNodes == 0 {
+		o.AppNodes = 1
+	}
+	if o.DBNodes == 0 {
+		o.DBNodes = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 10000
+	}
+	if o.ProxyDiskBytes == 0 {
+		o.ProxyDiskBytes = 4 << 30
+	}
+	if o.Hardware == (cluster.Hardware{}) {
+		o.Hardware = cluster.DefaultHardware()
+	}
+	return o
+}
+
+// interTierLatency is the one-way LAN latency between tiers, seconds.
+const interTierLatency = 0.0003
+
+// osPageCacheHit is the probability that a proxy disk-store read is served
+// by the operating system's page cache instead of the physical disk.
+const osPageCacheHit = 0.55
+
+// diskHitExtraCPU is the additional CPU a proxy disk-store hit costs over
+// a memory hit (store open, page-cache copy), seconds.
+const diskHitExtraCPU = 0.0012
+
+// txnPageExtraCPU is the additional application-tier CPU a transactional
+// (database-writing) page costs: session management, cart and order
+// validation, receipt rendering. It makes the ordering workload
+// application-bound, as in the paper's Figure 7(a).
+const txnPageExtraCPU = 0.0065
+
+// osBaseMemory is the per-node memory consumed by the OS and daemons.
+const osBaseMemory int64 = 128 << 20
+
+// proxyServer is one node of the presentation tier.
+type proxyServer struct {
+	node  *cluster.Node
+	cache *proxy.Cache
+	cfg   proxy.Config
+}
+
+// System is the simulated cluster-based web service.
+type System struct {
+	Eng     *simnet.Engine
+	Cluster *cluster.Cluster
+	Catalog *webobj.Catalog
+
+	opts Options
+	src  *rng.Source
+
+	proxies map[int]*proxyServer
+	apps    map[int]*appserver.Server
+	dbs     map[int]*db.Server
+
+	// Per-node current configurations, by tier space.
+	nodeCfg map[int]param.Config
+
+	rr struct{ proxy, app, db uint64 }
+
+	// failed marks nodes that are down: they receive no traffic until
+	// recovered.
+	failed map[int]bool
+
+	// Per-work-line completion counters (successful interactions).
+	lineDone []uint64
+	pageOK   uint64
+	pageFail uint64
+}
+
+// New builds the simulated site.
+func New(opts Options) *System {
+	opts = opts.withDefaults()
+	eng := &simnet.Engine{}
+	s := &System{
+		Eng:     eng,
+		Catalog: webobj.NewCatalog(opts.Scale, opts.Seed^0xCA7A106),
+		opts:    opts,
+		src:     rng.New(opts.Seed ^ 0x51731a7e),
+		proxies: make(map[int]*proxyServer),
+		apps:    make(map[int]*appserver.Server),
+		dbs:     make(map[int]*db.Server),
+		nodeCfg: make(map[int]param.Config),
+		failed:  make(map[int]bool),
+	}
+	s.Cluster = cluster.New(eng, opts.Hardware, opts.ProxyNodes, opts.AppNodes, opts.DBNodes)
+	if opts.WorkLines > 0 {
+		for _, t := range cluster.Tiers() {
+			if s.Cluster.TierSize(t) < opts.WorkLines {
+				panic(fmt.Sprintf("websim: %d work lines need >= %d nodes in tier %v", opts.WorkLines, opts.WorkLines, t))
+			}
+		}
+		s.lineDone = make([]uint64, opts.WorkLines)
+	}
+	for _, n := range s.Cluster.Nodes() {
+		s.nodeCfg[n.ID()] = defaultConfigFor(n.Tier())
+		s.startServer(n)
+	}
+	return s
+}
+
+// defaultConfigFor returns the tier's default parameter configuration.
+func defaultConfigFor(t cluster.Tier) param.Config {
+	return SpaceFor(t).DefaultConfig()
+}
+
+// SpaceFor returns the tunable-parameter space of a tier.
+func SpaceFor(t cluster.Tier) *param.Space {
+	switch t {
+	case cluster.TierProxy:
+		return proxy.Space()
+	case cluster.TierApp:
+		return appserver.Space()
+	case cluster.TierDB:
+		return db.Space()
+	default:
+		panic("websim: unknown tier")
+	}
+}
+
+// startServer instantiates the tier server process on a node from its
+// stored configuration and charges its memory footprint.
+func (s *System) startServer(n *cluster.Node) {
+	id := n.ID()
+	cfg := s.nodeCfg[id]
+	switch n.Tier() {
+	case cluster.TierProxy:
+		pc := proxy.DecodeConfig(cfg)
+		// Each restart starts with an empty store. Real Squid persists its
+		// disk store across restarts; the simulator deliberately clears it
+		// so every iteration's measurement is attributable to its own
+		// configuration (with an inherited store, a configuration that
+		// admits nothing still measures well). The warm-up window fills
+		// the cache before measurement begins.
+		s.proxies[id] = &proxyServer{node: n, cache: proxy.New(pc, s.opts.ProxyDiskBytes), cfg: pc}
+		n.SetMemUsed(osBaseMemory + pc.MemoryFootprint())
+	case cluster.TierApp:
+		ac := appserver.DecodeConfig(cfg)
+		s.apps[id] = appserver.New(s.Eng, n, ac, appserver.DefaultCostModel())
+		n.SetMemUsed(osBaseMemory + ac.MemoryFootprint())
+	case cluster.TierDB:
+		dc := db.DecodeConfig(cfg)
+		s.dbs[id] = db.New(s.Eng, n, dc, db.DefaultCostModel(), s.src.Split(uint64(1000+id)))
+		n.SetMemUsed(osBaseMemory + dc.MemoryFootprint())
+	}
+}
+
+// stopServer removes the tier server process from a node.
+func (s *System) stopServer(n *cluster.Node) {
+	delete(s.proxies, n.ID())
+	delete(s.apps, n.ID())
+	delete(s.dbs, n.ID())
+	n.SetMemUsed(osBaseMemory)
+}
+
+// SetNodeConfig stores a node's configuration; it takes effect at the next
+// Restart (the paper restarts servers between tuning iterations).
+func (s *System) SetNodeConfig(nodeID int, cfg param.Config) {
+	n := s.Cluster.Node(nodeID)
+	if n == nil {
+		panic(fmt.Sprintf("websim: no node %d", nodeID))
+	}
+	sp := SpaceFor(n.Tier())
+	if !sp.Feasible(cfg) {
+		panic(fmt.Sprintf("websim: infeasible config for node %d (%v tier)", nodeID, n.Tier()))
+	}
+	s.nodeCfg[nodeID] = cfg.Clone()
+}
+
+// NodeConfig returns the node's stored configuration.
+func (s *System) NodeConfig(nodeID int) param.Config { return s.nodeCfg[nodeID].Clone() }
+
+// SetTierConfig stores the same configuration on every node of a tier
+// (§III.B parameter duplication).
+func (s *System) SetTierConfig(t cluster.Tier, cfg param.Config) {
+	for _, n := range s.Cluster.TierNodes(t) {
+		s.SetNodeConfig(n.ID(), cfg)
+	}
+}
+
+// Restart re-instantiates every server from its stored configuration,
+// clearing caches and statistics — one tuning-iteration boundary. Failed
+// nodes stay down.
+func (s *System) Restart() {
+	for _, n := range s.Cluster.Nodes() {
+		s.stopServer(n)
+		if !s.failed[n.ID()] {
+			s.startServer(n)
+		}
+	}
+}
+
+// MoveNode reassigns a node to another tier and starts the tier's server
+// on it with the tier default configuration (or cfg, if non-nil). This is
+// the §IV reconfiguration action; remaining nodes keep serving throughout.
+func (s *System) MoveNode(nodeID int, to cluster.Tier, cfg param.Config) {
+	n := s.Cluster.Node(nodeID)
+	if n == nil {
+		panic(fmt.Sprintf("websim: no node %d", nodeID))
+	}
+	if n.Tier() == to {
+		return
+	}
+	if s.Cluster.TierSize(n.Tier()) <= 1 {
+		panic(fmt.Sprintf("websim: cannot empty tier %v", n.Tier()))
+	}
+	s.stopServer(n)
+	n.SetTier(to)
+	if cfg == nil {
+		cfg = defaultConfigFor(to)
+	}
+	s.nodeCfg[nodeID] = cfg.Clone()
+	s.startServer(n)
+}
+
+// FailNode takes a node down: its server process stops and the router
+// stops sending it traffic. Requests in flight on the node still drain
+// (the front-end retries are not modeled; pages routed to a tier with no
+// live node fail). The node's stored configuration is kept for recovery.
+func (s *System) FailNode(nodeID int) {
+	n := s.Cluster.Node(nodeID)
+	if n == nil {
+		panic(fmt.Sprintf("websim: no node %d", nodeID))
+	}
+	if s.failed[nodeID] {
+		return
+	}
+	s.failed[nodeID] = true
+	s.stopServer(n)
+}
+
+// RecoverNode brings a failed node back with its stored configuration
+// (empty caches, as after a crash).
+func (s *System) RecoverNode(nodeID int) {
+	n := s.Cluster.Node(nodeID)
+	if n == nil {
+		panic(fmt.Sprintf("websim: no node %d", nodeID))
+	}
+	if !s.failed[nodeID] {
+		return
+	}
+	delete(s.failed, nodeID)
+	s.startServer(n)
+}
+
+// NodeFailed reports whether the node is currently down.
+func (s *System) NodeFailed(nodeID int) bool { return s.failed[nodeID] }
+
+// lineFor returns the work line serving the given browser.
+func (s *System) lineFor(eb int) int {
+	if s.opts.WorkLines <= 0 {
+		return -1
+	}
+	return eb % s.opts.WorkLines
+}
+
+// pick returns the serving node of a tier for the given browser, rotating
+// round-robin; with work lines, selection is restricted to the line.
+func (s *System) pick(t cluster.Tier, eb int, rr *uint64) *cluster.Node {
+	nodes := s.Cluster.TierNodes(t)
+	if len(s.failed) > 0 {
+		live := nodes[:0:0]
+		for _, n := range nodes {
+			if !s.failed[n.ID()] {
+				live = append(live, n)
+			}
+		}
+		nodes = live
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	if line := s.lineFor(eb); line >= 0 {
+		var lineNodes []*cluster.Node
+		for i, n := range nodes {
+			if i%s.opts.WorkLines == line {
+				lineNodes = append(lineNodes, n)
+			}
+		}
+		if len(lineNodes) > 0 {
+			nodes = lineNodes
+		}
+	}
+	*rr++
+	return nodes[int(*rr)%len(nodes)]
+}
+
+// pickProxy returns a live proxy server for the browser, or nil.
+func (s *System) pickProxy(eb int) *proxyServer {
+	n := s.pick(cluster.TierProxy, eb, &s.rr.proxy)
+	if n == nil {
+		return nil
+	}
+	return s.proxies[n.ID()]
+}
+
+// pickApp returns a live application server for the browser, or nil.
+func (s *System) pickApp(eb int) *appserver.Server {
+	n := s.pick(cluster.TierApp, eb, &s.rr.app)
+	if n == nil {
+		return nil
+	}
+	return s.apps[n.ID()]
+}
+
+// pickDB returns a live database server for the browser, or nil.
+func (s *System) pickDB(eb int) *db.Server {
+	n := s.pick(cluster.TierDB, eb, &s.rr.db)
+	if n == nil {
+		return nil
+	}
+	return s.dbs[n.ID()]
+}
+
+// Request implements tpcw.Site: it serves the page HTML and then all
+// embedded images through the tier pipeline. The page succeeds only if
+// every component succeeds.
+func (s *System) Request(pr tpcw.PageRequest, done func(ok bool)) {
+	s.serveHTML(pr, func(htmlOK bool) {
+		if len(pr.Images) == 0 {
+			s.finishPage(pr, htmlOK, done)
+			return
+		}
+		remaining := len(pr.Images)
+		allOK := htmlOK
+		for _, img := range pr.Images {
+			s.serveObject(img, pr.Browser, func(ok bool) {
+				if !ok {
+					allOK = false
+				}
+				remaining--
+				if remaining == 0 {
+					s.finishPage(pr, allOK, done)
+				}
+			})
+		}
+	})
+}
+
+func (s *System) finishPage(pr tpcw.PageRequest, ok bool, done func(bool)) {
+	if ok {
+		s.pageOK++
+		if line := s.lineFor(pr.Browser); line >= 0 {
+			s.lineDone[line]++
+		}
+	} else {
+		s.pageFail++
+	}
+	done(ok)
+}
+
+// serveHTML serves the page document: static pages go through the cache
+// path, dynamic pages are always forwarded to the application tier, with
+// the database involved per the interaction profile.
+func (s *System) serveHTML(pr tpcw.PageRequest, done func(ok bool)) {
+	if pr.Profile.Static {
+		s.serveObject(pr.HTML, pr.Browser, done)
+		return
+	}
+	p := s.pickProxy(pr.Browser)
+	if p == nil {
+		done(false)
+		return
+	}
+	// The proxy relays the request and the generated response.
+	s.proxyCPU(p, 0, pr.HTML.Size, func() {
+		s.Eng.Schedule(interTierLatency, func() {
+			s.appGenerate(pr, func(ok bool) {
+				if !ok {
+					done(false)
+					return
+				}
+				p.node.NIC().Submit(p.node.NetDemand(pr.HTML.Size), func() { done(true) })
+			})
+		})
+	})
+}
+
+// appGenerate runs the dynamic-page generation on the application tier,
+// calling into the database tier as the profile requires.
+func (s *System) appGenerate(pr tpcw.PageRequest, done func(ok bool)) {
+	a := s.pickApp(pr.Browser)
+	if a == nil {
+		done(false)
+		return
+	}
+	var backend func(release func(ok bool))
+	if pr.Profile.DB != tpcw.DBNone {
+		backend = func(release func(ok bool)) {
+			d := s.pickDB(pr.Browser)
+			if d == nil {
+				release(false)
+				return
+			}
+			kind := db.QueryRead
+			switch pr.Profile.DB {
+			case tpcw.DBJoin:
+				kind = db.QueryJoin
+			case tpcw.DBWrite:
+				kind = db.QueryWrite
+			}
+			s.Eng.Schedule(interTierLatency, func() {
+				d.Query(kind, pr.Profile.DBResultKB<<10, func(ok bool) {
+					// External services (the TPC-W payment gateway on Buy
+					// Confirm) run after the transaction, while the
+					// application server still holds its worker threads.
+					delay := interTierLatency + pr.Profile.ExtDelaySec
+					s.Eng.Schedule(delay, func() { release(ok) })
+				})
+			})
+		}
+	}
+	extra := 0.0
+	if pr.Profile.DB == tpcw.DBWrite {
+		extra = txnPageExtraCPU
+	}
+	a.Serve(pr.HTML.Size, extra, backend, done)
+}
+
+// serveObject serves one cacheable object (static page or image) from the
+// proxy tier, fetching from the application tier on a miss.
+func (s *System) serveObject(o webobj.Object, eb int, done func(ok bool)) {
+	p := s.pickProxy(eb)
+	if p == nil {
+		done(false)
+		return
+	}
+	res, scan := p.cache.Lookup(o)
+	switch res {
+	case proxy.HitMem:
+		s.proxyCPU(p, scan, o.Size, func() {
+			p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
+		})
+	case proxy.HitDisk:
+		// Disk hits pay extra CPU (open/copy from the store) on top of the
+		// lookup cost; most are then absorbed by the OS page cache, and
+		// only the rest touch the physical disk.
+		s.proxyCPU(p, scan, o.Size, func() {
+			p.node.CPU().Submit(diskHitExtraCPU, func() {
+				if s.src.Bernoulli(osPageCacheHit) {
+					p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
+					return
+				}
+				p.node.Disk().Submit(p.node.DiskDemand(o.Size), func() {
+					p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
+				})
+			})
+		})
+	default: // Miss: fetch from the origin (application tier), then admit.
+		s.proxyCPU(p, scan, o.Size, func() {
+			s.Eng.Schedule(interTierLatency, func() {
+				a := s.pickApp(eb)
+				if a == nil {
+					done(false)
+					return
+				}
+				a.Serve(o.Size, 0, nil, func(ok bool) {
+					if !ok {
+						done(false)
+						return
+					}
+					p.cache.Admit(o)
+					p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
+				})
+			})
+		})
+	}
+}
+
+// proxyCPU charges the proxy's per-request CPU: protocol handling, the
+// directory scan, and per-KB copy costs.
+func (s *System) proxyCPU(p *proxyServer, scan int, bytes int64, then func()) {
+	const (
+		baseCost    = 0.0009 // accept/parse/log
+		perScanCost = 0.000002
+		perKBCost   = 0.000018
+	)
+	d := baseCost + float64(scan)*perScanCost + float64(bytes)/1024*perKBCost
+	p.node.CPU().Submit(d, then)
+}
+
+// PagesOK returns the number of successfully completed page requests.
+func (s *System) PagesOK() uint64 { return s.pageOK }
+
+// PagesFailed returns the number of failed page requests.
+func (s *System) PagesFailed() uint64 { return s.pageFail }
+
+// LineCompleted returns the completed-page count of a work line.
+func (s *System) LineCompleted(line int) uint64 {
+	if line < 0 || line >= len(s.lineDone) {
+		return 0
+	}
+	return s.lineDone[line]
+}
+
+// WorkLines returns the configured number of work lines (0 = none).
+func (s *System) WorkLines() int { return s.opts.WorkLines }
+
+// ResetCounters zeroes the system's page counters (not server stats).
+func (s *System) ResetCounters() {
+	s.pageOK, s.pageFail = 0, 0
+	for i := range s.lineDone {
+		s.lineDone[i] = 0
+	}
+}
+
+// ProxyStats returns the cache statistics of the proxy on the given node.
+func (s *System) ProxyStats(nodeID int) (proxy.Stats, bool) {
+	p, ok := s.proxies[nodeID]
+	if !ok {
+		return proxy.Stats{}, false
+	}
+	return p.cache.Stats(), true
+}
+
+// AppServer returns the application server on the given node, if any.
+func (s *System) AppServer(nodeID int) (*appserver.Server, bool) {
+	a, ok := s.apps[nodeID]
+	return a, ok
+}
+
+// DBServer returns the database server on the given node, if any.
+func (s *System) DBServer(nodeID int) (*db.Server, bool) {
+	d, ok := s.dbs[nodeID]
+	return d, ok
+}
+
+// Compile-time check: System drives tpcw browsers.
+var _ tpcw.Site = (*System)(nil)

@@ -1,0 +1,155 @@
+// Package webharmony reproduces "Automated Cluster-Based Web Service
+// Performance Tuning" (Chung & Hollingsworth, HPDC 2004): the Active
+// Harmony automated tuning system applied to a simulated cluster-based
+// TPC-W e-commerce service.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - a deterministic discrete-event simulation of a multi-tier web
+//     cluster (Squid-like proxy caches, Tomcat-like application servers,
+//     MySQL-like databases on 10 paper-spec machines);
+//   - the TPC-W workload (Table 1 mixes, emulated browsers, WIPS metrics);
+//   - the Active Harmony tuning server (an ask/tell Nelder-Mead simplex
+//     adapted to bounded integer parameter lattices), including the
+//     cluster-scale strategies of §III.B (parameter duplication and
+//     parameter partitioning) and a TCP wire protocol (cmd/harmonyd);
+//   - the automatic cluster reconfiguration algorithm of §IV.
+//
+// Each experiment of the paper's evaluation has a runner: TuneWorkload
+// (§III.A), RunFigure4/Table 3, RunFigure5, RunTable4 and RunFigure7, plus
+// printers that render the corresponding tables. See EXPERIMENTS.md for
+// paper-vs-measured results.
+package webharmony
+
+import (
+	"webharmony/internal/core"
+	"webharmony/internal/harmony"
+	"webharmony/internal/param"
+	"webharmony/internal/tpcw"
+)
+
+// Workload selects a TPC-W mix (Table 1).
+type Workload = tpcw.Workload
+
+// The three TPC-W workload mixes.
+const (
+	Browsing = tpcw.Browsing
+	Shopping = tpcw.Shopping
+	Ordering = tpcw.Ordering
+)
+
+// Workloads lists the three mixes in Table 1 order.
+func Workloads() []Workload { return tpcw.Workloads() }
+
+// LabConfig describes an experimental setup: cluster shape, client load,
+// iteration windows.
+type LabConfig = core.LabConfig
+
+// PaperLab returns the paper's full-size setup (100/1000/100 s windows).
+func PaperLab() LabConfig { return core.PaperLab() }
+
+// StandardLab returns the benchmark-harness setup (shortened windows).
+func StandardLab() LabConfig { return core.StandardLab() }
+
+// QuickLab returns a scaled-down setup for tests and demos.
+func QuickLab() LabConfig { return core.QuickLab() }
+
+// TunerOptions configures the Active Harmony search (algorithm, seed,
+// extreme-value guard, workload-shift detection).
+type TunerOptions = harmony.Options
+
+// Tuning algorithms.
+const (
+	AlgoNelderMead = harmony.AlgoNelderMead
+	AlgoRandom     = harmony.AlgoRandom
+	AlgoCoordinate = harmony.AlgoCoordinate
+	AlgoAnnealing  = harmony.AlgoAnnealing
+)
+
+// ParamDef describes one tunable parameter.
+type ParamDef = param.Def
+
+// Config is a point in a parameter space.
+type Config = param.Config
+
+// Lab is an instantiated simulated cluster + TPC-W client population; it
+// implements the tuning Target interface and exposes the underlying
+// simulator for custom experiments.
+type Lab = core.Lab
+
+// NewLab builds a lab for the given setup and workload.
+func NewLab(cfg LabConfig, w Workload) *Lab { return core.NewLab(cfg, w) }
+
+// SingleWorkloadResult is the §III.A experiment output.
+type SingleWorkloadResult = core.SingleWorkloadResult
+
+// TuneWorkload runs the §III.A single-workload tuning experiment.
+func TuneWorkload(cfg LabConfig, w Workload, iters, baselineIters int, opts TunerOptions) *SingleWorkloadResult {
+	return core.TuneWorkload(cfg, w, iters, baselineIters, opts)
+}
+
+// Figure4Result is the cross-workload configuration matrix (Figure 4 and
+// Table 3).
+type Figure4Result = core.Figure4Result
+
+// RunFigure4 reproduces Figure 4 and Table 3.
+func RunFigure4(cfg LabConfig, iters, evalIters int, opts TunerOptions) *Figure4Result {
+	return core.RunFigure4(cfg, iters, evalIters, opts)
+}
+
+// Figure5Result is the workload-responsiveness experiment output.
+type Figure5Result = core.Figure5Result
+
+// RunFigure5 reproduces Figure 5: tuning under a workload that changes
+// every phaseLen iterations.
+func RunFigure5(cfg LabConfig, seq []Workload, phaseLen, phases int, opts TunerOptions) *Figure5Result {
+	return core.RunFigure5(cfg, seq, phaseLen, phases, opts)
+}
+
+// Table4Result compares the cluster tuning methods of §III.B.
+type Table4Result = core.Table4Result
+
+// RunTable4 reproduces Table 4 on a 2/2/2 cluster with two work lines.
+func RunTable4(cfg LabConfig, iters int, opts TunerOptions) *Table4Result {
+	return core.RunTable4(cfg, iters, opts)
+}
+
+// Figure7Result is one automatic-reconfiguration experiment output.
+type Figure7Result = core.Figure7Result
+
+// Figure7Options selects the reconfiguration experiment variant.
+type Figure7Options = core.Figure7Options
+
+// Figure7a returns the §IV variant (a): 4 proxy + 2 app nodes, workload
+// changing from browsing to ordering.
+func Figure7a() Figure7Options { return core.Figure7a() }
+
+// Figure7b returns variant (b): 2 proxy + 4 app nodes under browsing.
+func Figure7b() Figure7Options { return core.Figure7b() }
+
+// RunFigure7 reproduces a Figure 7 reconfiguration experiment.
+func RunFigure7(cfg LabConfig, fo Figure7Options) *Figure7Result {
+	return core.RunFigure7(cfg, fo, nil)
+}
+
+// Tuning strategies for cluster-scale tuning (§III.B).
+const (
+	StrategyDefault      = harmony.StrategyDefault
+	StrategyDuplication  = harmony.StrategyDuplication
+	StrategyPartitioning = harmony.StrategyPartitioning
+	StrategyHybrid       = harmony.StrategyHybrid
+)
+
+// AdaptiveOptions configures the combined tuning + reconfiguration loop.
+type AdaptiveOptions = core.AdaptiveOptions
+
+// AdaptiveResult is the output of RunAdaptive.
+type AdaptiveResult = core.AdaptiveResult
+
+// RunAdaptive runs the full Active Harmony loop of §IV on a lab:
+// parameter tuning every iteration and the reconfiguration check at a
+// lower frequency, moving nodes between tiers when a tier is overloaded
+// while another sits idle.
+func RunAdaptive(lab *Lab, iters int, opts AdaptiveOptions) *AdaptiveResult {
+	return core.RunAdaptive(lab, iters, opts)
+}

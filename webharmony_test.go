@@ -1,0 +1,173 @@
+package webharmony
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/harmony"
+)
+
+type clusterTier = cluster.Tier
+
+func tierByName(name string) clusterTier {
+	for _, t := range cluster.Tiers() {
+		if t.String() == name {
+			return t
+		}
+	}
+	panic("unknown tier " + name)
+}
+
+func TestPrintTable1ContainsPaperValues(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Home", "29.00 %", "16.00 %", "9.12 %",
+		"Buy Confirm", "10.18 %", "Admin Confirm", "0.11 %",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestWorkloadsFacade(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 3 || ws[0] != Browsing || ws[2] != Ordering {
+		t.Fatalf("Workloads = %v", ws)
+	}
+}
+
+func TestQuickEndToEndFacade(t *testing.T) {
+	// A miniature end-to-end run through the public API: build a lab,
+	// tune briefly, print every report.
+	cfg := QuickLab()
+	cfg.Scale = 500
+	cfg.Measure = 15
+	res := TuneWorkload(cfg, Shopping, 12, 3, TunerOptions{Seed: 1})
+	var buf bytes.Buffer
+	PrintSection3A(&buf, res)
+	if !strings.Contains(buf.String(), "shopping") {
+		t.Fatalf("Section 3A report: %s", buf.String())
+	}
+
+	f5 := RunFigure5(cfg, []Workload{Browsing, Ordering}, 5, 2, TunerOptions{Seed: 2, ShiftFactor: 0.3})
+	buf.Reset()
+	PrintFigure5(&buf, f5)
+	if !strings.Contains(buf.String(), "workload change") {
+		t.Fatalf("Figure 5 report: %s", buf.String())
+	}
+}
+
+func TestFigure7OptionsFacade(t *testing.T) {
+	a, b := Figure7a(), Figure7b()
+	if a.ProxyNodes != 4 || a.AppNodes != 2 {
+		t.Fatalf("Figure7a = %+v", a)
+	}
+	if b.ProxyNodes != 2 || b.AppNodes != 4 {
+		t.Fatalf("Figure7b = %+v", b)
+	}
+	if a.SwitchTo != Ordering || b.SwitchTo != Browsing {
+		t.Fatal("workload sequences wrong")
+	}
+}
+
+func TestPrintersHandleEmptyResults(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFigure7(&buf, &Figure7Result{MovedAt: -1})
+	if !strings.Contains(buf.String(), "no reconfiguration") {
+		t.Fatal("empty Figure 7 not handled")
+	}
+	PrintTable4(&buf, &Table4Result{})
+	PrintConfig(&buf, "proxy", map[string]int64{"cache_mem": 8, "a": 1})
+	if !strings.Contains(buf.String(), "cache_mem = 8") {
+		t.Fatal("PrintConfig wrong")
+	}
+}
+
+func TestAlgoConstantsExposed(t *testing.T) {
+	if AlgoNelderMead != harmony.AlgoNelderMead || AlgoRandom != harmony.AlgoRandom ||
+		AlgoCoordinate != harmony.AlgoCoordinate {
+		t.Fatal("algorithm constants drifted")
+	}
+}
+
+func TestLabFacade(t *testing.T) {
+	lab := NewLab(QuickLab(), Browsing)
+	if lab.Sys == nil || lab.Driver == nil {
+		t.Fatal("lab not wired")
+	}
+	if got := lab.Sys.Cluster.Layout(); got != "1/1/1" {
+		t.Fatalf("layout = %s", got)
+	}
+}
+
+func syntheticFigure4() *Figure4Result {
+	res := &Figure4Result{
+		Best: map[Workload]map[clusterTier]Config{},
+	}
+	res.Default = [3]float64{100, 110, 95}
+	for _, w := range Workloads() {
+		res.Matrix[w] = [3]float64{105, 115, 100}
+		cfgs := map[clusterTier]Config{}
+		lab := NewLab(QuickLab(), w)
+		for _, spec := range lab.Tiers() {
+			cfgs[tierByName(spec.Name)] = spec.Space.DefaultConfig()
+		}
+		res.Best[w] = cfgs
+		res.Improvement[w] = 0.05
+	}
+	return res
+}
+
+func TestPrintFigure4AndTable3(t *testing.T) {
+	res := syntheticFigure4()
+	var buf bytes.Buffer
+	PrintFigure4(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "best-of-browsing") || !strings.Contains(out, "15% / 16% / 5%") {
+		t.Fatalf("Figure 4 report: %s", out)
+	}
+	buf.Reset()
+	PrintTable3(&buf, res)
+	out = buf.String()
+	for _, want := range []string{"cache_mem", "maxProcessors", "join_buffer_size", "[proxy server]", "[db server]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 3 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportWrappers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFigure4CSV(&buf, syntheticFigure4()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best-of-shopping") {
+		t.Fatal("figure4 csv wrong")
+	}
+	buf.Reset()
+	if err := WriteTable4CSV(&buf, &Table4Result{}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteSeriesCSV(&buf, "wips", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	f5 := &Figure5Result{WIPS: []float64{1}, Workload: []Workload{Browsing}}
+	if err := WriteFigure5CSV(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFigure7CSV(&buf, &Figure7Result{WIPS: []float64{1}, Layouts: []string{"1/1/1"}, MovedAt: -1}); err != nil {
+		t.Fatal(err)
+	}
+}
