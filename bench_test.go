@@ -1,6 +1,7 @@
 package webharmony
 
 import (
+	"fmt"
 	"testing"
 
 	"webharmony/internal/cluster"
@@ -94,6 +95,23 @@ func BenchmarkFigure4CrossWorkload(b *testing.B) {
 		if i == 0 {
 			b.Logf("Figure 4 matrix: %v (defaults %v)", res.Matrix, res.Default)
 		}
+	}
+}
+
+// BenchmarkFigure4ParallelSpeedup measures the wall-clock effect of the
+// bounded worker pool on the Figure 4 fan-out (3 independent tuning runs,
+// then 9 evaluation matrix cells). The exported results are bit-for-bit
+// identical at every worker count (see TestRunFigure4ParallelDeterminism);
+// on a 4-core machine workers=4 should be ≥2× faster than workers=1.
+func BenchmarkFigure4ParallelSpeedup(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchLab()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				RunFigure4(cfg, 20, 4, harmony.Options{Seed: 4})
+			}
+		})
 	}
 }
 

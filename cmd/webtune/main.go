@@ -19,8 +19,9 @@
 //	adaptive  the full §IV loop: tuning + periodic reconfiguration
 //	all       everything above
 //
-// Flags select the scale (-scale quick|standard|paper), iteration counts
-// and the random seed; see -help.
+// Flags select the scale (-scale quick|standard|paper), iteration counts,
+// the random seed and the parallel fan-out width (-workers, default
+// GOMAXPROCS — results are bit-for-bit identical at any width); see -help.
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		guard    = flag.Float64("guard", 0, "extreme-value guard factor (0 disables)")
 		outDir   = flag.String("out", "", "also write results as JSON and CSV into this directory")
 		sessions = flag.Bool("sessions", false, "drive browsers through the TPC-W session graph")
+		workers  = flag.Int("workers", 0, "parallel workers for independent experiment units (0 = GOMAXPROCS); results are identical at any worker count")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +55,7 @@ func main() {
 	cfg, defIters := labFor(*scale)
 	cfg.Seed = *seed
 	cfg.Sessions = *sessions
+	cfg.Workers = *workers
 	n := *iters
 	if n == 0 {
 		n = defIters
@@ -130,8 +133,33 @@ func main() {
 	if fig7cfg.Warm < 12 {
 		fig7cfg.Warm = 12 // re-warm caches fully after each restart
 	}
-	runFig7 := func(name string, fo webharmony.Figure7Options) {
-		res := webharmony.RunFigure7(fig7cfg, fo)
+	// The requested Figure 7 variants run as one parallel fan-out; with
+	// "all" both variants compute concurrently on the worker pool.
+	var (
+		fig7names = []string{"figure7a", "figure7b"}
+		fig7opts  = []webharmony.Figure7Options{webharmony.Figure7a(), webharmony.Figure7b()}
+		fig7res   map[string]*webharmony.Figure7Result
+	)
+	ensureFig7 := func() map[string]*webharmony.Figure7Result {
+		if fig7res == nil {
+			var names []string
+			var fos []webharmony.Figure7Options
+			for i, name := range fig7names {
+				if what == name || what == "all" {
+					names = append(names, name)
+					fos = append(fos, fig7opts[i])
+				}
+			}
+			results := webharmony.RunFigure7Variants(fig7cfg, fos...)
+			fig7res = make(map[string]*webharmony.Figure7Result, len(names))
+			for i, name := range names {
+				fig7res[name] = results[i]
+			}
+		}
+		return fig7res
+	}
+	showFig7 := func(name string) {
+		res := ensureFig7()[name]
 		webharmony.PrintFigure7(os.Stdout, res)
 		export(*outDir, name, res, func(w io.Writer) error {
 			return webharmony.WriteFigure7CSV(w, res)
@@ -146,8 +174,8 @@ func main() {
 			}
 		}
 	}
-	run("figure7a", func() { runFig7("figure7a", webharmony.Figure7a()) })
-	run("figure7b", func() { runFig7("figure7b", webharmony.Figure7b()) })
+	run("figure7a", func() { showFig7("figure7a") })
+	run("figure7b", func() { showFig7("figure7b") })
 
 	run("adaptive", func() {
 		// The full §IV loop: tuning every iteration, reconfiguration

@@ -91,25 +91,38 @@ type Figure4Result struct {
 // RunFigure4 tunes each workload for iters iterations, then applies every
 // best configuration to every workload, reproducing Figure 4 and Table 3.
 // evalIters iterations are averaged per matrix cell.
+//
+// The three tuning runs are independent (each builds its own lab from
+// cfg.Seed) and fan out over cfg.Workers, as do the nine evaluation
+// matrix cells once every best configuration is known. The output is
+// bit-for-bit identical at any worker count.
 func RunFigure4(cfg LabConfig, iters, evalIters int, opts harmony.Options) *Figure4Result {
 	res := &Figure4Result{
 		Best: make(map[tpcw.Workload]map[cluster.Tier]param.Config),
 		Runs: make(map[tpcw.Workload]*SingleWorkloadResult),
 	}
-	for _, w := range tpcw.Workloads() {
-		run := TuneWorkload(cfg, w, iters, evalIters, opts)
-		res.Runs[w] = run
-		res.Best[w] = run.BestConfigs
-		res.Default[w] = stats.MeanOf(run.Baseline)
+	ws := tpcw.Workloads()
+
+	// Phase 1: one tuning run per workload, each writing its own slot.
+	runs := make([]*SingleWorkloadResult, len(ws))
+	ForEach(cfg.Workers, len(ws), func(i int) {
+		runs[i] = TuneWorkload(cfg, ws[i], iters, evalIters, opts)
+	})
+	for i, w := range ws {
+		res.Runs[w] = runs[i]
+		res.Best[w] = runs[i].BestConfigs
+		res.Default[w] = stats.MeanOf(runs[i].Baseline)
 	}
-	for _, from := range tpcw.Workloads() {
-		for _, on := range tpcw.Workloads() {
-			lab := NewLab(cfg, on)
-			series := lab.MeasureConfig(res.Best[from], evalIters)
-			res.Matrix[from][on] = stats.MeanOf(series)
-		}
-	}
-	for _, w := range tpcw.Workloads() {
+
+	// Phase 2: the evaluation matrix, one cell per (from, on) pair. The
+	// best-configuration maps are read-only from here on.
+	ForEach(cfg.Workers, len(ws)*len(ws), func(k int) {
+		from, on := ws[k/len(ws)], ws[k%len(ws)]
+		lab := NewLab(cfg, on)
+		series := lab.MeasureConfig(res.Best[from], evalIters)
+		res.Matrix[from][on] = stats.MeanOf(series)
+	})
+	for _, w := range ws {
 		res.Improvement[w] = stats.Improvement(res.Default[w], res.Matrix[w][w])
 	}
 	return res
@@ -188,21 +201,14 @@ type Table4Result struct {
 // work lines under the shopping mix: no tuning, the default method (one
 // server, all parameters), parameter duplication, parameter partitioning,
 // and the hybrid (§III.B future work).
+//
+// The baseline and the four method runs are independent replications,
+// each on its own identically-seeded lab, and fan out over cfg.Workers;
+// the improvement column is filled in after the join. Output is
+// bit-for-bit identical at any worker count.
 func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
 	cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes = 2, 2, 2
 	cfg.WorkLines = 2
-
-	res := &Table4Result{}
-
-	// Baseline: no tuning.
-	base := NewLab(cfg, tpcw.Shopping)
-	baseSeries := base.MeasureConfig(DefaultConfigs(), iters/4)
-	baseMean := stats.MeanOf(baseSeries)
-	res.Rows = append(res.Rows, Table4Row{
-		Method: "none",
-		WIPS:   baseMean,
-		StdDev: stats.StdDevOf(baseSeries[len(baseSeries)/2:]),
-	})
 
 	kinds := []harmony.StrategyKind{
 		harmony.StrategyDefault,
@@ -210,23 +216,40 @@ func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
 		harmony.StrategyPartitioning,
 		harmony.StrategyHybrid,
 	}
-	for _, kind := range kinds {
+
+	rows := make([]Table4Row, 1+len(kinds))
+	ForEach(cfg.Workers, len(rows), func(i int) {
+		if i == 0 {
+			// Baseline: no tuning.
+			base := NewLab(cfg, tpcw.Shopping)
+			baseSeries := base.MeasureConfig(DefaultConfigs(), iters/4)
+			rows[0] = Table4Row{
+				Method: "none",
+				WIPS:   stats.MeanOf(baseSeries),
+				StdDev: stats.StdDevOf(baseSeries[len(baseSeries)/2:]),
+			}
+			return
+		}
+		kind := kinds[i-1]
 		lab := NewLab(cfg, tpcw.Shopping)
 		st := harmony.NewStrategy(kind, lab, cfg.WorkLines, opts)
-		for i := 0; i < iters; i++ {
+		for k := 0; k < iters; k++ {
 			st.Step()
 		}
 		best, _ := st.Best()
 		perf := st.Perf()
-		res.Rows = append(res.Rows, Table4Row{
-			Method:      kind.String(),
-			WIPS:        best,
-			StdDev:      stats.StdDevOf(perf[len(perf)/2:]),
-			Improvement: stats.Improvement(baseMean, best),
-			Iterations:  st.ExplorationIterations(),
-		})
+		rows[i] = Table4Row{
+			Method:     kind.String(),
+			WIPS:       best,
+			StdDev:     stats.StdDevOf(perf[len(perf)/2:]),
+			Iterations: st.ExplorationIterations(),
+		}
+	})
+	baseMean := rows[0].WIPS
+	for i := 1; i < len(rows); i++ {
+		rows[i].Improvement = stats.Improvement(baseMean, rows[i].WIPS)
 	}
-	return res
+	return &Table4Result{Rows: rows}
 }
 
 // Figure7Result is one automatic-reconfiguration experiment (Figure 7).
@@ -366,6 +389,19 @@ func RunFigure7(cfg LabConfig, fo Figure7Options, tierCfgs map[cluster.Tier]para
 		res.Improvement = stats.Improvement(res.Before, res.After)
 	}
 	return res
+}
+
+// RunFigure7Variants runs several reconfiguration experiments, fanned out
+// over cfg.Workers; element i of the result corresponds to fos[i]. Each
+// variant builds its own lab, so the results are identical to calling
+// RunFigure7 once per variant sequentially. A nil tierCfgs gives every
+// variant its own GenerousConfigs.
+func RunFigure7Variants(cfg LabConfig, tierCfgs map[cluster.Tier]param.Config, fos ...Figure7Options) []*Figure7Result {
+	out := make([]*Figure7Result, len(fos))
+	ForEach(cfg.Workers, len(fos), func(i int) {
+		out[i] = RunFigure7(cfg, fos[i], tierCfgs)
+	})
+	return out
 }
 
 // labCosts builds the reconfiguration cost terms from live queue state.

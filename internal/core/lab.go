@@ -35,6 +35,13 @@ type LabConfig struct {
 	Cool    float64
 
 	Seed uint64
+
+	// Workers bounds the worker pool the experiment runners use to fan
+	// out independent units (tuning runs, matrix cells, Figure 7
+	// variants). 0 selects GOMAXPROCS; 1 forces sequential execution.
+	// Results are bit-for-bit identical at every worker count: each unit
+	// builds its own lab from this configuration's seed.
+	Workers int
 }
 
 // PaperLab returns the paper's timing on the 4-machine setup: 100/1000/100

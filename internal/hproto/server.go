@@ -22,6 +22,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
+	conns    map[net.Conn]struct{} // live accepted connections
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -39,7 +40,11 @@ func NewServer(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, sessions: make(map[string]*sessionState)}
+	s := &Server{
+		ln:       ln,
+		sessions: make(map[string]*sessionState),
+		conns:    make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -48,14 +53,51 @@ func NewServer(addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for connection handlers to finish.
+// Close stops the listener, closes every live connection and waits for
+// the connection handlers to finish. Without closing the connections a
+// handler idle in a read would block Close forever (clients hold their
+// connection open between requests). Close is idempotent; concurrent and
+// repeated calls wait for the same shutdown and return nil.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
+
 	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close() // unblocks handlers parked in ReadBytes
+	}
 	s.wg.Wait()
 	return err
+}
+
+// track records an accepted connection so Close can unblock its handler.
+// It reports false when the server is already closed (the connection was
+// accepted in the window before the listener shut); the handler must then
+// drop the connection immediately instead of serving it.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -75,6 +117,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {

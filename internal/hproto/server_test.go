@@ -1,0 +1,122 @@
+package hproto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseReturnsWithIdleClient is the regression test for the shutdown
+// hang: a client that has completed a request and sits idle keeps its
+// connection open, leaving the server's handler parked in a read. Close
+// must close the connection to unblock the handler rather than waiting on
+// it forever.
+func TestCloseReturnsWithIdleClient(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Complete one round trip so the handler goroutine is provably up and
+	// back in its blocking read when Close runs.
+	if err := c.Register("idle", testDefs(), "", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung with an idle client connected")
+	}
+
+	// The client's connection was closed server-side: the next request
+	// must fail rather than hang.
+	if _, _, err := c.Next("idle"); err == nil {
+		t.Error("request succeeded after server Close")
+	}
+}
+
+// TestCloseIdempotent verifies repeated and concurrent Close calls all
+// return promptly.
+func TestCloseIdempotent(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent Close calls hung")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after Close: %v", err)
+	}
+}
+
+// TestConcurrentConnectCloseStress hammers the server with clients
+// connecting, registering and querying while Close runs, to surface
+// unsynchronized state (run under -race). Close must return promptly no
+// matter where each connection is in its lifecycle.
+func TestConcurrentConnectCloseStress(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				c, err := Dial(addr)
+				if err != nil {
+					return // listener closed
+				}
+				name := fmt.Sprintf("s%d-%d", i, n)
+				// Errors are expected once shutdown begins; the loop only
+				// ends when the listener stops accepting.
+				if err := c.Register(name, testDefs(), "", 1); err == nil {
+					if _, _, err := c.Next(name); err == nil {
+						c.Report(name, 1)
+					}
+				}
+				c.Close()
+			}
+		}(i)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let connections churn
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Server.Close hung during concurrent connects")
+	}
+	wg.Wait()
+}

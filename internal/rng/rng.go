@@ -47,6 +47,19 @@ func (s *Source) Split(salt uint64) *Source {
 	return New(mix)
 }
 
+// TaskSeed derives an independent seed for task index task from a base
+// seed. Unlike Source.Split it is a pure function of (base, task) — no
+// stream state advances — so parallel workers can derive their tasks'
+// seeds in any order and still agree bit-for-bit with a sequential run.
+// This is the seed-derivation contract for experiment fan-outs that need
+// per-task streams (multi-seed replication, parameter sweeps): task i of a
+// run seeded s uses TaskSeed(s, i), independent of which worker runs it.
+func TaskSeed(base, task uint64) uint64 {
+	s := base + (task+1)*0x9e3779b97f4a7c15
+	x := splitmix64(&s)
+	return x ^ splitmix64(&s)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

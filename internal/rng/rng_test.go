@@ -43,6 +43,44 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestTaskSeedPureAndDistinct(t *testing.T) {
+	// Pure: the same (base, task) always derives the same seed, regardless
+	// of call order — the property parallel fan-outs rely on.
+	if TaskSeed(7, 3) != TaskSeed(7, 3) {
+		t.Error("TaskSeed is not a pure function")
+	}
+	// Distinct across tasks and bases, and never the base itself.
+	seen := map[uint64][2]uint64{}
+	for base := uint64(0); base < 8; base++ {
+		for task := uint64(0); task < 64; task++ {
+			s := TaskSeed(base, task)
+			if s == base {
+				t.Errorf("TaskSeed(%d, %d) returned the base seed", base, task)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Errorf("TaskSeed collision: (%d,%d) and (%d,%d) -> %d",
+					base, task, prev[0], prev[1], s)
+			}
+			seen[s] = [2]uint64{base, task}
+		}
+	}
+}
+
+func TestTaskSeedStreamsDiverge(t *testing.T) {
+	// Streams seeded from adjacent tasks must decorrelate immediately.
+	a := New(TaskSeed(1, 0))
+	b := New(TaskSeed(1, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent task streams shared %d of 64 outputs", same)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	s := New(3)
 	for i := 0; i < 10000; i++ {

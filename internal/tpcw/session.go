@@ -3,6 +3,7 @@ package tpcw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"webharmony/internal/rng"
 )
@@ -113,11 +114,17 @@ func transitionMatrix(w Workload) [NumInteractions][NumInteractions]float64 {
 }
 
 // matrixCache memoizes the calibrated matrices (deterministic, so safe to
-// share). Access is not synchronized: populate on first use per workload
-// within a single goroutine (the simulators are single-threaded).
-var matrixCache = map[Workload]*[NumInteractions][NumInteractions]float64{}
+// share). Access is guarded by matrixMu: labs are single-threaded
+// internally, but the parallel experiment runners build labs for several
+// workloads concurrently, so first-use population can race.
+var (
+	matrixMu    sync.Mutex
+	matrixCache = map[Workload]*[NumInteractions][NumInteractions]float64{}
+)
 
 func matrixFor(w Workload) *[NumInteractions][NumInteractions]float64 {
+	matrixMu.Lock()
+	defer matrixMu.Unlock()
 	if m, ok := matrixCache[w]; ok {
 		return m
 	}

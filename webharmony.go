@@ -92,7 +92,9 @@ func TuneWorkload(cfg LabConfig, w Workload, iters, baselineIters int, opts Tune
 // Table 3).
 type Figure4Result = core.Figure4Result
 
-// RunFigure4 reproduces Figure 4 and Table 3.
+// RunFigure4 reproduces Figure 4 and Table 3. Its three tuning runs and
+// nine evaluation cells fan out over cfg.Workers parallel workers with
+// bit-for-bit identical results at any worker count.
 func RunFigure4(cfg LabConfig, iters, evalIters int, opts TunerOptions) *Figure4Result {
 	return core.RunFigure4(cfg, iters, evalIters, opts)
 }
@@ -110,6 +112,7 @@ func RunFigure5(cfg LabConfig, seq []Workload, phaseLen, phases int, opts TunerO
 type Table4Result = core.Table4Result
 
 // RunTable4 reproduces Table 4 on a 2/2/2 cluster with two work lines.
+// The baseline and the four method runs fan out over cfg.Workers.
 func RunTable4(cfg LabConfig, iters int, opts TunerOptions) *Table4Result {
 	return core.RunTable4(cfg, iters, opts)
 }
@@ -131,6 +134,21 @@ func Figure7b() Figure7Options { return core.Figure7b() }
 func RunFigure7(cfg LabConfig, fo Figure7Options) *Figure7Result {
 	return core.RunFigure7(cfg, fo, nil)
 }
+
+// RunFigure7Variants runs several Figure 7 variants (e.g. Figure7a and
+// Figure7b), fanned out over cfg.Workers parallel workers; element i of
+// the result corresponds to fos[i], identical to running each variant
+// alone.
+func RunFigure7Variants(cfg LabConfig, fos ...Figure7Options) []*Figure7Result {
+	return core.RunFigure7Variants(cfg, nil, fos...)
+}
+
+// ForEach runs n independent tasks, task(0) … task(n-1), on a bounded
+// pool of workers goroutines (workers <= 0 selects GOMAXPROCS). It is the
+// execution layer behind the experiment runners' fan-outs, exported for
+// custom experiments; see the determinism contract on core.ForEach: tasks
+// must own their state and write only to index-addressed result slots.
+func ForEach(workers, n int, task func(i int)) { core.ForEach(workers, n, task) }
 
 // Tuning strategies for cluster-scale tuning (§III.B).
 const (
