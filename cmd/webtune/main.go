@@ -17,11 +17,15 @@
 //	figure7a  reconfiguration: proxy node → application tier
 //	figure7b  reconfiguration: application node → proxy tier
 //	adaptive  the full §IV loop: tuning + periodic reconfiguration
+//	sweep     parameter sweep over lab knobs (requires -sweep)
 //	all       everything above
 //
 // Flags select the scale (-scale quick|standard|paper), iteration counts,
-// the random seed and the parallel fan-out width (-workers, default
-// GOMAXPROCS — results are bit-for-bit identical at any width); see -help.
+// the random seed, the parallel fan-out width (-workers, default
+// GOMAXPROCS), the replicate count (-replicates R reruns table4 and
+// adaptive on R independently seeded labs, reporting mean ± σ ± 95% CI)
+// and the sweep grid (-sweep "browsers=400,550;think=0.3,0.6"). Results
+// are bit-for-bit identical at any -workers value; see -help.
 package main
 
 import (
@@ -33,26 +37,51 @@ import (
 	"time"
 
 	"webharmony"
+	"webharmony/internal/stats"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies surfaced: argv without the program
+// name, the two output streams, and the exit code as the return value, so
+// tests can drive the CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("webtune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale    = flag.String("scale", "quick", "experiment scale: quick, standard or paper")
-		iters    = flag.Int("iters", 0, "tuning iterations (0 = per-scale default)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		guard    = flag.Float64("guard", 0, "extreme-value guard factor (0 disables)")
-		outDir   = flag.String("out", "", "also write results as JSON and CSV into this directory")
-		sessions = flag.Bool("sessions", false, "drive browsers through the TPC-W session graph")
-		workers  = flag.Int("workers", 0, "parallel workers for independent experiment units (0 = GOMAXPROCS); results are identical at any worker count")
+		scale      = fs.String("scale", "quick", "experiment scale: quick, standard or paper")
+		iters      = fs.Int("iters", 0, "tuning iterations (0 = per-scale default)")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		guard      = fs.Float64("guard", 0, "extreme-value guard factor (0 disables)")
+		outDir     = fs.String("out", "", "also write results as JSON and CSV into this directory")
+		sessions   = fs.Bool("sessions", false, "drive browsers through the TPC-W session graph")
+		workers    = fs.Int("workers", 0, "parallel workers for independent experiment units (0 = GOMAXPROCS); results are identical at any worker count")
+		replicates = fs.Int("replicates", 1, "independent replicates for table4/adaptive/sweep; seeds derive per replicate, results report mean ± σ ± 95% CI")
+		sweepSpec  = fs.String("sweep", "", `sweep grid for the sweep experiment, e.g. "browsers=400,550;think=0.3,0.6;shape=1/1/1,2/2/2"`)
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|all>")
-		flag.PrintDefaults()
-		os.Exit(2)
+	usage := func() {
+		fmt.Fprintln(stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|sweep|all>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage()
+		return 2
+	}
+	if *replicates < 1 {
+		fmt.Fprintf(stderr, "webtune: -replicates must be >= 1, got %d\n", *replicates)
+		return 2
 	}
 
-	cfg, defIters := labFor(*scale)
+	cfg, defIters, err := labFor(*scale)
+	if err != nil {
+		fmt.Fprintf(stderr, "webtune: %v\n", err)
+		return 2
+	}
 	cfg.Seed = *seed
 	cfg.Sessions = *sessions
 	cfg.Workers = *workers
@@ -60,33 +89,50 @@ func main() {
 	if n == 0 {
 		n = defIters
 	}
+	R := *replicates
 	opts := webharmony.TunerOptions{Seed: *seed, GuardFactor: *guard}
 
-	what := flag.Arg(0)
+	what := fs.Arg(0)
+	known := map[string]bool{"table1": true, "sec3a": true, "figure4": true, "table3": true,
+		"figure5": true, "table4": true, "figure7a": true, "figure7b": true,
+		"adaptive": true, "sweep": true, "all": true}
+	if !known[what] {
+		fmt.Fprintf(stderr, "webtune: unknown experiment %q\n", what)
+		return 2
+	}
+	var axes []webharmony.SweepAxis
+	if *sweepSpec != "" {
+		if axes, err = webharmony.ParseSweepSpec(*sweepSpec); err != nil {
+			fmt.Fprintf(stderr, "webtune: %v\n", err)
+			return 2
+		}
+	} else if what == "sweep" {
+		fmt.Fprintln(stderr, `webtune: the sweep experiment needs a grid, e.g. -sweep "browsers=400,550;think=0.3,0.6"`)
+		return 2
+	}
+
 	run := func(name string, fn func()) {
 		if what != name && what != "all" {
 			return
 		}
 		start := time.Now()
-		fmt.Printf("=== %s ===\n", name)
+		fmt.Fprintf(stdout, "=== %s ===\n", name)
 		fn()
-		fmt.Printf("--- %s done in %.1fs ---\n\n", name, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "--- %s done in %.1fs ---\n\n", name, time.Since(start).Seconds())
 	}
 
-	known := map[string]bool{"table1": true, "sec3a": true, "figure4": true, "table3": true,
-		"figure5": true, "table4": true, "figure7a": true, "figure7b": true,
-		"adaptive": true, "all": true}
-	if !known[what] {
-		fmt.Fprintf(os.Stderr, "webtune: unknown experiment %q\n", what)
-		os.Exit(2)
-	}
-
-	run("table1", func() { webharmony.PrintTable1(os.Stdout) })
+	run("table1", func() { webharmony.PrintTable1(stdout) })
 
 	run("sec3a", func() {
-		for _, w := range []webharmony.Workload{webharmony.Browsing, webharmony.Ordering} {
-			res := webharmony.TuneWorkload(cfg, w, n, max(6, n/10), opts)
-			webharmony.PrintSection3A(os.Stdout, res)
+		// The two workload runs are independent; fan them out and print
+		// in the fixed order afterwards.
+		ws := []webharmony.Workload{webharmony.Browsing, webharmony.Ordering}
+		results := make([]*webharmony.SingleWorkloadResult, len(ws))
+		webharmony.ForEach(cfg.Workers, len(ws), func(i int) {
+			results[i] = webharmony.TuneWorkload(cfg, ws[i], n, max(6, n/10), opts)
+		})
+		for _, res := range results {
+			webharmony.PrintSection3A(stdout, res)
 		}
 	})
 
@@ -99,12 +145,12 @@ func main() {
 	}
 	run("figure4", func() {
 		res := ensureFig4()
-		webharmony.PrintFigure4(os.Stdout, res)
-		export(*outDir, "figure4", res, func(w io.Writer) error {
+		webharmony.PrintFigure4(stdout, res)
+		export(*outDir, stderr, "figure4", res, func(w io.Writer) error {
 			return webharmony.WriteFigure4CSV(w, res)
 		})
 	})
-	run("table3", func() { webharmony.PrintTable3(os.Stdout, ensureFig4()) })
+	run("table3", func() { webharmony.PrintTable3(stdout, ensureFig4()) })
 
 	run("figure5", func() {
 		seq := []webharmony.Workload{webharmony.Browsing, webharmony.Shopping, webharmony.Ordering}
@@ -112,8 +158,8 @@ func main() {
 		shiftOpts := opts
 		shiftOpts.ShiftFactor = 0.25
 		res := webharmony.RunFigure5(cfg, seq, phase, 4, shiftOpts)
-		webharmony.PrintFigure5(os.Stdout, res)
-		export(*outDir, "figure5", res, func(w io.Writer) error {
+		webharmony.PrintFigure5(stdout, res)
+		export(*outDir, stderr, "figure5", res, func(w io.Writer) error {
 			return webharmony.WriteFigure5CSV(w, res)
 		})
 	})
@@ -121,9 +167,17 @@ func main() {
 	run("table4", func() {
 		c := cfg
 		c.Browsers = cfg.Browsers * 5 / 2 // 6-node cluster, larger population
+		if R > 1 {
+			res := webharmony.RunTable4Replicated(c, n, R, opts)
+			webharmony.PrintTable4Replicated(stdout, res)
+			export(*outDir, stderr, "table4", res, func(w io.Writer) error {
+				return webharmony.WriteTable4ReplicatedCSV(w, res)
+			})
+			return
+		}
 		res := webharmony.RunTable4(c, n, opts)
-		webharmony.PrintTable4(os.Stdout, res)
-		export(*outDir, "table4", res, func(w io.Writer) error {
+		webharmony.PrintTable4(stdout, res)
+		export(*outDir, stderr, "table4", res, func(w io.Writer) error {
 			return webharmony.WriteTable4CSV(w, res)
 		})
 	})
@@ -160,8 +214,8 @@ func main() {
 	}
 	showFig7 := func(name string) {
 		res := ensureFig7()[name]
-		webharmony.PrintFigure7(os.Stdout, res)
-		export(*outDir, name, res, func(w io.Writer) error {
+		webharmony.PrintFigure7(stdout, res)
+		export(*outDir, stderr, name, res, func(w io.Writer) error {
 			return webharmony.WriteFigure7CSV(w, res)
 		})
 		if *outDir != "" && res.Timeline != nil {
@@ -169,7 +223,7 @@ func main() {
 			if err == nil {
 				defer f.Close()
 				if err := res.Timeline.WriteCSV(f); err != nil {
-					fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+					fmt.Fprintf(stderr, "webtune: %v\n", err)
 				}
 			}
 		}
@@ -185,71 +239,114 @@ func main() {
 		if c.Warm < 12 {
 			c.Warm = 12
 		}
-		lab := webharmony.NewLab(c, webharmony.Browsing)
-		res := webharmony.RunAdaptive(lab, 24, webharmony.AdaptiveOptions{
+		aOpts := webharmony.AdaptiveOptions{
 			Strategy:      webharmony.StrategyDuplication,
 			Tuner:         opts,
 			ReconfigEvery: 8,
-		})
-		for i, w := range res.WIPS {
-			marker := ""
-			for _, mv := range res.Moves {
-				if mv.Iteration == i {
-					marker = "   <- " + mv.Decision.String()
-				}
-			}
-			fmt.Printf("iter %2d  layout %s  %7.1f WIPS%s\n", i+1, res.Layouts[i], w, marker)
 		}
-		export(*outDir, "adaptive", res, nil)
+		const aIters = 24
+		if R > 1 {
+			// R independent replicates, fanned out in parallel.
+			results := webharmony.RunAdaptiveReplicated(c, webharmony.Browsing, aIters, R, aOpts)
+			printAdaptiveReplicated(stdout, results)
+			export(*outDir, stderr, "adaptive", results, nil)
+			return
+		}
+		lab := webharmony.NewLab(c, webharmony.Browsing)
+		res := webharmony.RunAdaptive(lab, aIters, aOpts)
+		printAdaptive(stdout, res)
+		export(*outDir, stderr, "adaptive", res, nil)
 	})
+
+	run("sweep", func() {
+		if axes == nil {
+			return // "all" without a -sweep grid
+		}
+		res := webharmony.RunSweep(cfg, webharmony.Shopping, axes, R, max(3, n/25))
+		webharmony.PrintSweep(stdout, res)
+		export(*outDir, stderr, "sweep", res, func(w io.Writer) error {
+			return webharmony.WriteSweepCSV(w, res)
+		})
+	})
+	return 0
+}
+
+// printAdaptive renders one adaptive run's per-iteration series.
+func printAdaptive(w io.Writer, res *webharmony.AdaptiveResult) {
+	for i, wips := range res.WIPS {
+		marker := ""
+		for _, mv := range res.Moves {
+			if mv.Iteration == i {
+				marker = "   <- " + mv.Decision.String()
+			}
+		}
+		fmt.Fprintf(w, "iter %2d  layout %s  %7.1f WIPS%s\n", i+1, res.Layouts[i], wips, marker)
+	}
+}
+
+// printAdaptiveReplicated renders one summary line per replicate (final
+// layout, second-half mean WIPS, moves) and the across-replicate summary.
+func printAdaptiveReplicated(w io.Writer, results []*webharmony.AdaptiveResult) {
+	steady := make([]float64, len(results))
+	for r, res := range results {
+		half := res.WIPS[len(res.WIPS)/2:]
+		sum := 0.0
+		for _, v := range half {
+			sum += v
+		}
+		steady[r] = sum / float64(len(half))
+		fmt.Fprintf(w, "replicate %d: final layout %s, steady %7.1f WIPS, %d move(s)\n",
+			r, res.Layouts[len(res.Layouts)-1], steady[r], len(res.Moves))
+	}
+	s := stats.Summarize(steady)
+	fmt.Fprintf(w, "steady-state WIPS across %d replicates: %.1f ± %.1f (95%% CI ±%.1f)\n",
+		len(results), s.Mean, s.StdDev, s.CI95)
 }
 
 // labFor maps a scale name to a lab configuration and default iterations.
-func labFor(scale string) (webharmony.LabConfig, int) {
+func labFor(scale string) (webharmony.LabConfig, int, error) {
 	switch scale {
 	case "quick":
-		return webharmony.QuickLab(), 80
+		return webharmony.QuickLab(), 80, nil
 	case "standard":
-		return webharmony.StandardLab(), 200
+		return webharmony.StandardLab(), 200, nil
 	case "paper":
-		return webharmony.PaperLab(), 200
+		return webharmony.PaperLab(), 200, nil
 	default:
-		fmt.Fprintf(os.Stderr, "webtune: unknown scale %q\n", scale)
-		os.Exit(2)
-		return webharmony.LabConfig{}, 0
+		return webharmony.LabConfig{}, 0, fmt.Errorf("unknown scale %q", scale)
 	}
 }
 
 // export writes a result as <dir>/<name>.json and, when csv is non-nil,
 // <dir>/<name>.csv. A missing -out directory disables export.
-func export(dir, name string, result any, csv func(io.Writer) error) {
+func export(dir string, stderr io.Writer, name string, result any, csv func(io.Writer) error) {
 	if dir == "" {
 		return
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		fmt.Fprintf(stderr, "webtune: %v\n", err)
 		return
 	}
 	jf, err := os.Create(filepath.Join(dir, name+".json"))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		fmt.Fprintf(stderr, "webtune: %v\n", err)
 		return
 	}
 	defer jf.Close()
 	if err := webharmony.WriteJSON(jf, result); err != nil {
-		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		fmt.Fprintf(stderr, "webtune: %v\n", err)
 	}
 	if csv == nil {
 		return
 	}
 	cf, err := os.Create(filepath.Join(dir, name+".csv"))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		fmt.Fprintf(stderr, "webtune: %v\n", err)
 		return
 	}
 	defer cf.Close()
 	if err := csv(cf); err != nil {
-		fmt.Fprintf(os.Stderr, "webtune: %v\n", err)
+		fmt.Fprintf(stderr, "webtune: %v\n", err)
 	}
 }
 

@@ -1,0 +1,85 @@
+package webharmony
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun builds every program under examples/ and runs
+// it to completion, so the example binaries — which no other test
+// compiles or executes — stay building and exiting cleanly as the API
+// underneath them moves. The examples are demos, not unit tests, so the
+// only contract checked is: builds, runs, exit code 0, some output.
+// Skipped under -short (the slowest example takes ~25s).
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are full simulation runs; skipped in -short mode")
+	}
+	goTool := filepath.Join(os.Getenv("GOROOT"), "bin", "go")
+	if _, err := exec.LookPath(goTool); err != nil {
+		goTool = "go"
+		if _, err := exec.LookPath(goTool); err != nil {
+			t.Skipf("go tool not available: %v", err)
+		}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) < 6 {
+		t.Fatalf("found %d example programs, want at least the 6 shipped ones: %v", len(names), names)
+	}
+
+	binDir := t.TempDir()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			build := exec.Command(goTool, "build", "-o", bin, "./examples/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build failed: %v\n%s", err, out)
+			}
+
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(bin)
+			cmd.Dir = root
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example exited with %v\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+				}
+			case <-time.After(3 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example did not finish within 3 minutes\nstdout so far:\n%s", &stdout)
+			}
+			if stdout.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

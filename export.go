@@ -24,6 +24,18 @@ func WriteTable4CSV(w io.Writer, res *Table4Result) error {
 	return core.WriteTable4CSV(w, res)
 }
 
+// WriteTable4ReplicatedCSV writes the replicated Table 4 comparison
+// (mean ± σ ± CI per method plus per-replicate WIPS columns) as CSV.
+func WriteTable4ReplicatedCSV(w io.Writer, res *Table4Replicated) error {
+	return core.WriteTable4ReplicatedCSV(w, res)
+}
+
+// WriteSweepCSV writes a parameter sweep as long-form CSV: one row per
+// (knob-combination, replicate).
+func WriteSweepCSV(w io.Writer, res *SweepResult) error {
+	return core.WriteSweepCSV(w, res)
+}
+
 // WriteFigure7CSV writes a Figure 7 reconfiguration run as CSV.
 func WriteFigure7CSV(w io.Writer, res *Figure7Result) error {
 	return core.WriteFigure7CSV(w, res)

@@ -113,6 +113,55 @@ func WriteTable4CSV(w io.Writer, res *Table4Result) error {
 	return cw.Error()
 }
 
+// WriteTable4ReplicatedCSV writes the replicated cluster tuning method
+// comparison: per-method mean ± σ and 95% CI across replicates, plus the
+// per-replicate WIPS in long form (one trailing column per replicate).
+func WriteTable4ReplicatedCSV(w io.Writer, res *Table4Replicated) error {
+	cw := csv.NewWriter(w)
+	header := []string{"method", "mean_wips", "stddev", "ci95", "improvement", "iterations"}
+	for r := 0; r < res.Replicates; r++ {
+		header = append(header, "wips_r"+strconv.Itoa(r))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		rec := []string{
+			row.Method, formatFloat(row.Mean), formatFloat(row.StdDev),
+			formatFloat(row.CI95), formatFloat(row.Improvement),
+			strconv.Itoa(row.Iterations),
+		}
+		for _, v := range row.WIPS {
+			rec = append(rec, formatFloat(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV writes a parameter sweep in long form: one row per
+// (knob-combination, replicate), one column per axis plus the replicate
+// index and the measured mean WIPS.
+func WriteSweepCSV(w io.Writer, res *SweepResult) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, res.Axes...), "replicate", "wips")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		rec := append(append([]string{}, row.Values...),
+			strconv.Itoa(row.Replicate), formatFloat(row.WIPS))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
 }
@@ -129,6 +178,10 @@ func ExportName(result any) string {
 		return "figure5"
 	case *Table4Result:
 		return "table4"
+	case *Table4Replicated:
+		return "table4"
+	case *SweepResult:
+		return "sweep"
 	case *Figure7Result:
 		return "figure7"
 	case *AdaptiveResult:

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"webharmony/internal/harmony"
+	"webharmony/internal/rng"
+	"webharmony/internal/stats"
+	"webharmony/internal/tpcw"
+)
+
+// Replicate runs R independent replicates of an experiment unit and
+// returns their results, one slot per replicate. Replicate r runs under a
+// copy of cfg whose Seed is rng.TaskSeed(cfg.Seed, r) — a pure function of
+// the pair, so a replicate's result depends only on (cfg, r), never on R,
+// the worker count or which worker ran it. The replicates fan out over
+// the cfg.Workers pool; each unit must build its own state from the
+// configuration it is handed (the usual ForEach contract) and write
+// nothing but its return value, which Replicate stores into the
+// index-addressed slot r. Under that contract the returned slice is
+// bit-for-bit identical at every worker count.
+//
+// Stochastic inputs the unit takes besides the lab seed (e.g. a tuner's
+// harmony.Options.Seed) must be re-derived per replicate the same way —
+// see ReplicateSeed — or replicates would share tuner randomness.
+func Replicate[T any](cfg LabConfig, R int, unit func(cfg LabConfig, r int) T) []T {
+	out := make([]T, R)
+	ForEach(cfg.Workers, R, func(r int) {
+		rcfg := cfg
+		rcfg.Seed = rng.TaskSeed(cfg.Seed, uint64(r))
+		out[r] = unit(rcfg, r)
+	})
+	return out
+}
+
+// ReplicateSeed derives the seed replicate r uses from a base seed. It is
+// the same derivation Replicate applies to LabConfig.Seed, exported so
+// units can derive secondary seeds (tuner options, fault schedules) that
+// stay aligned with their replicate index.
+func ReplicateSeed(base uint64, r int) uint64 {
+	return rng.TaskSeed(base, uint64(r))
+}
+
+// Table4MethodStats is one row of the replicated Table 4: the WIPS of a
+// cluster tuning method summarized across R independent replicates.
+type Table4MethodStats struct {
+	Method string
+	// WIPS[r] is replicate r's result (the best configuration's WIPS for
+	// tuned methods, the mean default-configuration WIPS for "none").
+	WIPS []float64
+	// Mean, StdDev and CI95 summarize WIPS across replicates. This is the
+	// across-replicate σ the paper's Table 4 calls for, replacing the
+	// single-run second-half σ of Table4Row.
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	// Improvement compares the method's mean to the baseline's mean.
+	Improvement float64
+	// Iterations is the initial-exploration length of the method's widest
+	// tuning server (structural, identical across replicates).
+	Iterations int
+}
+
+// Table4Replicated is the Table 4 comparison of cluster tuning methods
+// with R replicates per method.
+type Table4Replicated struct {
+	Replicates int
+	Rows       []Table4MethodStats
+}
+
+// RunTable4Replicated reruns the Table 4 method comparison R times, each
+// replicate on labs and tuners seeded from ReplicateSeed, and reports
+// mean ± σ and a Student-t 95% confidence interval per method across the
+// replicates. The R×5 (baseline + four methods) units fan out over
+// cfg.Workers; output is bit-for-bit identical at any worker count.
+func RunTable4Replicated(cfg LabConfig, iters, R int, opts harmony.Options) *Table4Replicated {
+	if R < 1 {
+		panic("core: RunTable4Replicated needs R >= 1")
+	}
+	runs := Replicate(cfg, R, func(rcfg LabConfig, r int) *Table4Result {
+		ropts := opts
+		ropts.Seed = ReplicateSeed(opts.Seed, r)
+		return RunTable4(rcfg, iters, ropts)
+	})
+
+	res := &Table4Replicated{Replicates: R}
+	for i := range runs[0].Rows {
+		row := Table4MethodStats{
+			Method:     runs[0].Rows[i].Method,
+			WIPS:       make([]float64, R),
+			Iterations: runs[0].Rows[i].Iterations,
+		}
+		for r, run := range runs {
+			row.WIPS[r] = run.Rows[i].WIPS
+		}
+		s := stats.Summarize(row.WIPS)
+		row.Mean, row.StdDev, row.CI95 = s.Mean, s.StdDev, s.CI95
+		res.Rows = append(res.Rows, row)
+	}
+	baseMean := res.Rows[0].Mean
+	for i := 1; i < len(res.Rows); i++ {
+		res.Rows[i].Improvement = stats.Improvement(baseMean, res.Rows[i].Mean)
+	}
+	return res
+}
+
+// RunAdaptiveReplicated runs R independent replicates of the full §IV
+// adaptive loop (RunAdaptive) on the given setup and workload, fanned out
+// over cfg.Workers. Each replicate builds its own lab from
+// ReplicateSeed(cfg.Seed, r) and a tuner seeded ReplicateSeed of
+// opts.Tuner.Seed, so element r is reproducible in isolation. This
+// replaces the sequential replication loop the CLI used to run.
+func RunAdaptiveReplicated(cfg LabConfig, w tpcw.Workload, iters, R int, opts AdaptiveOptions) []*AdaptiveResult {
+	return Replicate(cfg, R, func(rcfg LabConfig, r int) *AdaptiveResult {
+		ropts := opts
+		ropts.Tuner.Seed = ReplicateSeed(opts.Tuner.Seed, r)
+		lab := NewLab(rcfg, w)
+		return RunAdaptive(lab, iters, ropts)
+	})
+}

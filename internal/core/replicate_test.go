@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"webharmony/internal/harmony"
+	"webharmony/internal/rng"
+	"webharmony/internal/stats"
+	"webharmony/internal/tpcw"
+)
+
+// replicateUnit is a cheap real experiment unit for the engine tests: one
+// lab per call, one measured iteration of the default configuration.
+func replicateUnit(cfg LabConfig, r int) float64 {
+	lab := NewLab(cfg, tpcw.Shopping)
+	return lab.MeasureConfig(DefaultConfigs(), 1)[0]
+}
+
+// TestReplicateDeterminism pins the byte-equality contract: the replicate
+// slice is identical whether the fan-out runs on one worker or four.
+func TestReplicateDeterminism(t *testing.T) {
+	got := map[int][]float64{}
+	for _, workers := range []int{1, 4} {
+		cfg := parallelTestLab()
+		cfg.Workers = workers
+		got[workers] = Replicate(cfg, 5, replicateUnit)
+	}
+	for r := range got[1] {
+		if got[1][r] != got[4][r] {
+			t.Errorf("replicate %d differs between workers=1 and workers=4: %v vs %v",
+				r, got[1][r], got[4][r])
+		}
+	}
+}
+
+// TestReplicateSeedIndependence asserts replicate r's result depends only
+// on TaskSeed(seed, r): slot r matches a direct run of the unit under that
+// seed, and is unaffected by the total replicate count R.
+func TestReplicateSeedIndependence(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 2
+	full := Replicate(cfg, 4, replicateUnit)
+
+	for r := 0; r < 2; r++ {
+		direct := cfg
+		direct.Seed = rng.TaskSeed(cfg.Seed, uint64(r))
+		if want := replicateUnit(direct, r); full[r] != want {
+			t.Errorf("replicate %d = %v, want the TaskSeed(seed, %d) run's %v", r, full[r], r, want)
+		}
+	}
+	prefix := Replicate(cfg, 2, replicateUnit)
+	for r := range prefix {
+		if prefix[r] != full[r] {
+			t.Errorf("replicate %d changed with R: %v (R=2) vs %v (R=4)", r, prefix[r], full[r])
+		}
+	}
+	if got, want := ReplicateSeed(cfg.Seed, 3), rng.TaskSeed(cfg.Seed, 3); got != want {
+		t.Errorf("ReplicateSeed = %d, want TaskSeed's %d", got, want)
+	}
+}
+
+// TestReplicateSeedsVary is the sanity complement: distinct replicates see
+// distinct randomness, so a stochastic measurement is not constant.
+func TestReplicateSeedsVary(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 2
+	out := Replicate(cfg, 4, replicateUnit)
+	distinct := map[float64]bool{}
+	for _, v := range out {
+		distinct[v] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("4 replicates produced a single value %v; seeds are not independent", out[0])
+	}
+}
+
+// TestRunTable4ReplicatedDeterminism extends the Table 4 determinism
+// contract to the replicated runner: the full export, including the
+// across-replicate mean/σ/CI columns, is byte-identical at workers=1 and
+// workers=4.
+func TestRunTable4ReplicatedDeterminism(t *testing.T) {
+	got := map[int][]byte{}
+	var res *Table4Replicated
+	for _, workers := range []int{1, 4} {
+		cfg := parallelTestLab()
+		cfg.Browsers = 200 // the 2/2/2 cluster serves more clients
+		cfg.Workers = workers
+		res = RunTable4Replicated(cfg, 3, 2, harmony.Options{Seed: 5})
+		var buf bytes.Buffer
+		if err := WriteTable4ReplicatedCSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		got[workers] = append(exportJSON(t, res), buf.Bytes()...)
+	}
+	if !bytes.Equal(got[1], got[4]) {
+		t.Errorf("replicated Table 4 export differs between workers=1 and workers=4:\n--- workers=1\n%s\n--- workers=4\n%s",
+			got[1], got[4])
+	}
+
+	// The aggregation columns must be the stats of the per-replicate WIPS.
+	if res.Replicates != 2 || len(res.Rows) != 5 {
+		t.Fatalf("got %d replicates x %d rows, want 2 x 5", res.Replicates, len(res.Rows))
+	}
+	base := res.Rows[0]
+	for i, row := range res.Rows {
+		if len(row.WIPS) != 2 {
+			t.Fatalf("row %q has %d replicate values, want 2", row.Method, len(row.WIPS))
+		}
+		s := stats.Summarize(row.WIPS)
+		if row.Mean != s.Mean || row.StdDev != s.StdDev || row.CI95 != s.CI95 {
+			t.Errorf("row %q summary %v/%v/%v, want %v/%v/%v",
+				row.Method, row.Mean, row.StdDev, row.CI95, s.Mean, s.StdDev, s.CI95)
+		}
+		if want := stats.Improvement(base.Mean, row.Mean); i > 0 && row.Improvement != want {
+			t.Errorf("row %q improvement %v, want %v", row.Method, row.Improvement, want)
+		}
+	}
+}
+
+// TestRunAdaptiveReplicatedDeterminism pins the parallelized §IV
+// replication loop: identical results at any worker count, one
+// independent lab per replicate.
+func TestRunAdaptiveReplicatedDeterminism(t *testing.T) {
+	opts := AdaptiveOptions{
+		Strategy:      harmony.StrategyDuplication,
+		Tuner:         harmony.Options{Seed: 7},
+		ReconfigEvery: 2,
+	}
+	got := map[int][]byte{}
+	for _, workers := range []int{1, 2} {
+		cfg := parallelTestLab()
+		cfg.Workers = workers
+		res := RunAdaptiveReplicated(cfg, tpcw.Browsing, 4, 2, opts)
+		got[workers] = exportJSON(t, res)
+	}
+	if !bytes.Equal(got[1], got[2]) {
+		t.Errorf("adaptive replication differs between workers=1 and workers=2:\n--- workers=1\n%s\n--- workers=2\n%s",
+			got[1], got[2])
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"webharmony/internal/tpcw"
+)
+
+func sweepCSV(t *testing.T, res *SweepResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunSweepDeterminism pins the byte-equality contract for the grid
+// driver: the long-form CSV is identical at workers=1 and workers=4.
+func TestRunSweepDeterminism(t *testing.T) {
+	axes := func() []SweepAxis {
+		return []SweepAxis{BrowsersAxis(60, 80), ThinkAxis(0.4, 0.6)}
+	}
+	got := map[int][]byte{}
+	for _, workers := range []int{1, 4} {
+		cfg := parallelTestLab()
+		cfg.Workers = workers
+		got[workers] = sweepCSV(t, RunSweep(cfg, tpcw.Shopping, axes(), 2, 1))
+	}
+	if !bytes.Equal(got[1], got[4]) {
+		t.Errorf("sweep CSV differs between workers=1 and workers=4:\n--- workers=1\n%s\n--- workers=4\n%s",
+			got[1], got[4])
+	}
+}
+
+// TestRunSweepRowOrder asserts the long-form layout: one row per
+// (combination, replicate), combinations row-major with the last axis
+// fastest, replicates innermost.
+func TestRunSweepRowOrder(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 2
+	axes := []SweepAxis{BrowsersAxis(60, 80), ThinkAxis(0.4, 0.6)}
+	res := RunSweep(cfg, tpcw.Shopping, axes, 2, 1)
+
+	if want := []string{"browsers", "think"}; strings.Join(res.Axes, ",") != strings.Join(want, ",") {
+		t.Fatalf("axes = %v, want %v", res.Axes, want)
+	}
+	wantRows := []struct {
+		values string
+		rep    int
+	}{
+		{"60,0.4", 0}, {"60,0.4", 1},
+		{"60,0.6", 0}, {"60,0.6", 1},
+		{"80,0.4", 0}, {"80,0.4", 1},
+		{"80,0.6", 0}, {"80,0.6", 1},
+	}
+	if len(res.Rows) != len(wantRows) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(wantRows))
+	}
+	for i, row := range res.Rows {
+		if got := strings.Join(row.Values, ","); got != wantRows[i].values || row.Replicate != wantRows[i].rep {
+			t.Errorf("row %d = (%s, r%d), want (%s, r%d)",
+				i, got, row.Replicate, wantRows[i].values, wantRows[i].rep)
+		}
+		if row.WIPS <= 0 {
+			t.Errorf("row %d has non-positive WIPS %v", i, row.WIPS)
+		}
+	}
+}
+
+// TestRunSweepGridIndependence asserts the common-random-numbers seeding:
+// a combination's rows are identical no matter which other combinations
+// the grid contains, because replicate seeds depend only on the replicate
+// index.
+func TestRunSweepGridIndependence(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 2
+	alone := RunSweep(cfg, tpcw.Shopping, []SweepAxis{BrowsersAxis(60)}, 2, 1)
+	within := RunSweep(cfg, tpcw.Shopping, []SweepAxis{BrowsersAxis(60, 80)}, 2, 1)
+	for r := 0; r < 2; r++ {
+		if alone.Rows[r].WIPS != within.Rows[r].WIPS {
+			t.Errorf("replicate %d of browsers=60 depends on the grid: %v alone vs %v in a 2-point grid",
+				r, alone.Rows[r].WIPS, within.Rows[r].WIPS)
+		}
+	}
+}
+
+func TestWriteSweepCSVGolden(t *testing.T) {
+	res := &SweepResult{
+		Axes:       []string{"browsers", "shape"},
+		Replicates: 1,
+		Rows: []SweepRow{
+			{Values: []string{"100", "1/1/1"}, Replicate: 0, WIPS: 12.5},
+			{Values: []string{"100", "2/2/2"}, Replicate: 0, WIPS: 20},
+		},
+	}
+	want := "browsers,shape,replicate,wips\n100,1/1/1,0,12.5\n100,2/2/2,0,20\n"
+	if got := string(sweepCSV(t, res)); got != want {
+		t.Errorf("sweep CSV = %q, want %q", got, want)
+	}
+}
+
+func TestParseSweepSpec(t *testing.T) {
+	good := []struct {
+		spec   string
+		axes   []string
+		labels []string // labels of the last axis
+	}{
+		{"browsers=100,200", []string{"browsers"}, []string{"100", "200"}},
+		{"browsers=100;think=0.3,0.6", []string{"browsers", "think"}, []string{"0.3", "0.6"}},
+		{" scale=1000 ; shape=1/1/1,2/2/2 ", []string{"scale", "shape"}, []string{"1/1/1", "2/2/2"}},
+	}
+	for _, tc := range good {
+		axes, err := ParseSweepSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSweepSpec(%q) failed: %v", tc.spec, err)
+			continue
+		}
+		var names []string
+		for _, ax := range axes {
+			names = append(names, ax.Name)
+		}
+		if strings.Join(names, ",") != strings.Join(tc.axes, ",") {
+			t.Errorf("ParseSweepSpec(%q) axes = %v, want %v", tc.spec, names, tc.axes)
+			continue
+		}
+		last := axes[len(axes)-1]
+		if strings.Join(last.Labels, ",") != strings.Join(tc.labels, ",") {
+			t.Errorf("ParseSweepSpec(%q) last labels = %v, want %v", tc.spec, last.Labels, tc.labels)
+		}
+	}
+
+	bad := []string{
+		"",
+		";;",
+		"browsers",
+		"browsers=",
+		"browsers=abc",
+		"browsers=0",
+		"think=-1",
+		"shape=1/1",
+		"shape=1/1/x",
+		"shape=0/1/1",
+		"cpus=1,2",
+		"browsers=10;browsers=20",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSweepSpec(spec); err == nil {
+			t.Errorf("ParseSweepSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestParseSweepSpecApplies checks each supported axis mutates the right
+// LabConfig knob.
+func TestParseSweepSpecApplies(t *testing.T) {
+	axes, err := ParseSweepSpec("browsers=123;scale=4500;think=0.75;shape=3/2/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickLab()
+	for _, ax := range axes {
+		ax.Apply(&cfg, 0)
+	}
+	if cfg.Browsers != 123 || cfg.Scale != 4500 || cfg.ThinkMean != 0.75 {
+		t.Errorf("applied cfg = browsers %d, scale %d, think %v", cfg.Browsers, cfg.Scale, cfg.ThinkMean)
+	}
+	if cfg.ProxyNodes != 3 || cfg.AppNodes != 2 || cfg.DBNodes != 1 {
+		t.Errorf("applied shape = %d/%d/%d, want 3/2/1", cfg.ProxyNodes, cfg.AppNodes, cfg.DBNodes)
+	}
+}

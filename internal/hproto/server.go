@@ -124,17 +124,17 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		line, err := r.ReadBytes('\n')
+		line, err := readLine(r, MaxMessageSize)
 		if err != nil {
 			if err != io.EOF {
-				// Connection-level failure; nothing to report to.
+				// Connection-level failure (or an oversized frame);
+				// nothing to report to.
 				_ = err
 			}
 			return
 		}
-		var req Request
-		resp := Response{OK: true}
-		if err := json.Unmarshal(line, &req); err != nil {
+		var resp Response
+		if req, err := DecodeRequest(line); err != nil {
 			resp = Errorf("bad request: %v", err)
 		} else {
 			resp = s.dispatch(req)
@@ -149,6 +149,24 @@ func (s *Server) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// readLine reads one newline-terminated message, failing once the line
+// grows past max bytes so a misbehaving client cannot make the server
+// buffer an unbounded frame. (bufio.Reader.ReadBytes has no such bound.)
+func readLine(r *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == bufio.ErrBufferFull {
+			if len(line) > max {
+				return nil, fmt.Errorf("hproto: message exceeds %d bytes", max)
+			}
+			continue
+		}
+		return line, err
 	}
 }
 

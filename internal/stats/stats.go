@@ -287,6 +287,70 @@ func StdDevOf(vs []float64) float64 {
 	return math.Sqrt(sum / float64(n-1))
 }
 
+// Summary condenses a set of replicated measurements (one value per
+// replicate) into the statistics the experiment reports print: sample
+// size, mean, standard deviation and the half-width of a 95% confidence
+// interval for the mean.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+}
+
+// Summarize computes the Summary of vs. Non-finite values (NaN, ±Inf) are
+// skipped — a replicate whose measurement went wrong must not poison the
+// aggregate — so N reports the number of finite observations actually
+// summarized. With N == 1 the standard deviation and interval are 0, and
+// with N == 0 the Summary is all zeros.
+func Summarize(vs []float64) Summary {
+	var r Running
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		r.Add(v)
+	}
+	s := Summary{N: r.N(), Mean: r.Mean(), StdDev: r.StdDev()}
+	if s.N >= 2 {
+		s.CI95 = TCritical95(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// String formats the summary as "mean ± stddev (95% CI ±ci, n=...)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (95%% CI ±%.2f, n=%d)", s.Mean, s.StdDev, s.CI95, s.N)
+}
+
+// CI95Of returns the half-width of a 95% confidence interval for the mean
+// of vs using the Student-t critical value — the right interval for the
+// small replicate counts (R = 3…10) the replication engine runs with,
+// where the normal approximation of Running.CI95 is too tight. It returns
+// 0 for fewer than two finite observations.
+func CI95Of(vs []float64) float64 { return Summarize(vs).CI95 }
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1…30 degrees
+// of freedom (index df-1).
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom. Beyond 30 degrees of freedom it returns the normal
+// value 1.96; df < 1 yields 0 (no interval can be formed).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
 // FractionAbove returns the fraction of vs strictly greater than threshold.
 func FractionAbove(vs []float64, threshold float64) float64 {
 	if len(vs) == 0 {

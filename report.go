@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"webharmony/internal/cluster"
@@ -114,6 +115,47 @@ func PrintTable4(w io.Writer, res *Table4Result) {
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "(paper: none 110.4/σ2.1; default 130.6/σ30.0/159 it; duplication 133.7/σ29.5/33 it; partitioning 131.3/σ9.7/107 it)")
+}
+
+// PrintTable4Replicated renders the cluster tuning method comparison with
+// across-replicate statistics: mean ± σ and a 95% confidence interval
+// over R independent replicates per method.
+func PrintTable4Replicated(w io.Writer, res *Table4Replicated) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Tuning method\tMean WIPS\tStd dev\t95% CI\tImprovement\tIterations")
+	for _, r := range res.Rows {
+		imp := "-"
+		if r.Improvement != 0 {
+			imp = fmt.Sprintf("%.1f%%", 100*r.Improvement)
+		}
+		iters := "-"
+		if r.Iterations > 0 {
+			iters = fmt.Sprintf("%d", r.Iterations)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t±%.1f\t%s\t%s\n", r.Method, r.Mean, r.StdDev, r.CI95, imp, iters)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "(%d replicates per method; σ and CI are across replicates, not within a run)\n", res.Replicates)
+	fmt.Fprintln(w, "(paper: none 110.4/σ2.1; default 130.6/σ30.0/159 it; duplication 133.7/σ29.5/33 it; partitioning 131.3/σ9.7/107 it)")
+}
+
+// PrintSweep renders a parameter sweep: one line per knob combination
+// with the WIPS summarized across its replicates.
+func PrintSweep(w io.Writer, res *SweepResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tmean WIPS\tσ\t95%% CI\n", strings.Join(res.Axes, "\t"))
+	for i := 0; i < len(res.Rows); i += res.Replicates {
+		vals := make([]float64, 0, res.Replicates)
+		for r := 0; r < res.Replicates; r++ {
+			vals = append(vals, res.Rows[i+r].WIPS)
+		}
+		s := stats.Summarize(vals)
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t±%.1f\n",
+			strings.Join(res.Rows[i].Values, "\t"), s.Mean, s.StdDev, s.CI95)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "(%d replicates per point under common random numbers; workload %v)\n",
+		res.Replicates, res.Workload)
 }
 
 // PrintFigure7 renders a reconfiguration run.

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# check_coverage.sh [profile-out]
+#
+# Runs `go test -short -cover` over the module, optionally writing a
+# merged coverage profile to the given path, and fails if any package
+# listed in scripts/coverage_floors.txt reports statement coverage below
+# its floor. Packages without tests (cmd/harmonyd, cmd/tpcwgen, the
+# examples) are intentionally absent from the floors file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floors=scripts/coverage_floors.txt
+profile=${1:-}
+
+args=(test -short -count=1 -cover)
+if [ -n "$profile" ]; then
+  args+=("-coverprofile=$profile")
+fi
+out=$(go "${args[@]}" ./...)
+echo "$out"
+
+fail=0
+while read -r pkg floor; do
+  case "$pkg" in ''|\#*) continue ;; esac
+  line=$(echo "$out" | grep -E "^ok[[:space:]]+$pkg[[:space:]]" || true)
+  if [ -z "$line" ]; then
+    echo "FAIL coverage: no test result for $pkg (package removed? update $floors)" >&2
+    fail=1
+    continue
+  fi
+  pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+  if [ -z "$pct" ]; then
+    echo "FAIL coverage: no coverage figure for $pkg in: $line" >&2
+    fail=1
+    continue
+  fi
+  if ! awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p+0 >= f+0)}'; then
+    echo "FAIL coverage: $pkg at ${pct}% is below its ${floor}% floor" >&2
+    fail=1
+  fi
+done < "$floors"
+
+if [ "$fail" -ne 0 ]; then
+  echo "coverage check failed; floors are in $floors" >&2
+  exit 1
+fi
+echo "coverage check passed (floors: $floors)"

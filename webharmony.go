@@ -117,6 +117,66 @@ func RunTable4(cfg LabConfig, iters int, opts TunerOptions) *Table4Result {
 	return core.RunTable4(cfg, iters, opts)
 }
 
+// Table4Replicated is the Table 4 comparison with R replicates per
+// method: mean ± σ and a 95% confidence interval across replicates.
+type Table4Replicated = core.Table4Replicated
+
+// Table4MethodStats is one row of the replicated Table 4.
+type Table4MethodStats = core.Table4MethodStats
+
+// RunTable4Replicated reruns the Table 4 comparison R times on
+// independently seeded labs and tuners (seeds derived per replicate via
+// ReplicateSeed) and summarizes each method across the replicates. The
+// R×5 units fan out over cfg.Workers with bit-for-bit identical output at
+// any worker count.
+func RunTable4Replicated(cfg LabConfig, iters, R int, opts TunerOptions) *Table4Replicated {
+	return core.RunTable4Replicated(cfg, iters, R, opts)
+}
+
+// Replicate runs R independent replicates of an experiment unit, fanned
+// out over cfg.Workers; replicate r runs under seed ReplicateSeed(cfg.Seed, r),
+// so its result depends only on (cfg, r) — not on R, the worker count or
+// scheduling. See core.Replicate for the full determinism contract.
+func Replicate[T any](cfg LabConfig, R int, unit func(cfg LabConfig, r int) T) []T {
+	return core.Replicate(cfg, R, unit)
+}
+
+// ReplicateSeed is the pure per-replicate seed derivation Replicate uses
+// (rng.TaskSeed), exported so units can derive aligned secondary seeds.
+func ReplicateSeed(base uint64, r int) uint64 { return core.ReplicateSeed(base, r) }
+
+// SweepAxis is one knob of a parameter sweep (browsers, scale, think
+// time, cluster shape, or a custom Apply function).
+type SweepAxis = core.SweepAxis
+
+// Axis constructors for RunSweep grids.
+var (
+	BrowsersAxis = core.BrowsersAxis
+	ScaleAxis    = core.ScaleAxis
+	ThinkAxis    = core.ThinkAxis
+	ShapeAxis    = core.ShapeAxis
+)
+
+// SweepResult is the long-form output of RunSweep: one row per
+// (knob-combination, replicate).
+type SweepResult = core.SweepResult
+
+// SweepRow is one observation of a sweep.
+type SweepRow = core.SweepRow
+
+// RunSweep measures the default configuration over the grid spanned by
+// axes with R replicates per combination, mapping the response surface
+// around the paper's operating point. Combinations share per-replicate
+// seeds (common random numbers), and all points fan out over cfg.Workers
+// with bit-for-bit identical output at any worker count.
+func RunSweep(cfg LabConfig, w Workload, axes []SweepAxis, R, iters int) *SweepResult {
+	return core.RunSweep(cfg, w, axes, R, iters)
+}
+
+// ParseSweepSpec parses webtune's -sweep grammar
+// ("browsers=140,250;think=0.3,0.6;shape=1/1/1,2/2/2") into sweep axes.
+func ParseSweepSpec(spec string) ([]SweepAxis, error) { return core.ParseSweepSpec(spec) }
+
 // Figure7Result is one automatic-reconfiguration experiment output.
 type Figure7Result = core.Figure7Result
 
@@ -170,4 +230,11 @@ type AdaptiveResult = core.AdaptiveResult
 // while another sits idle.
 func RunAdaptive(lab *Lab, iters int, opts AdaptiveOptions) *AdaptiveResult {
 	return core.RunAdaptive(lab, iters, opts)
+}
+
+// RunAdaptiveReplicated runs R independent replicates of the adaptive
+// loop in parallel (each on its own lab seeded per replicate), replacing
+// a sequential replication loop; element r depends only on (cfg, r).
+func RunAdaptiveReplicated(cfg LabConfig, w Workload, iters, R int, opts AdaptiveOptions) []*AdaptiveResult {
+	return core.RunAdaptiveReplicated(cfg, w, iters, R, opts)
 }
