@@ -12,7 +12,11 @@
 //
 // Usage:
 //
-//	harmonyd [-addr 127.0.0.1:7779]
+//	harmonyd [-addr 127.0.0.1:7779] [-drain 5s]
+//
+// With -drain, shutdown on SIGINT is graceful: the listener stops at
+// once, but in-flight requests get up to the drain window to finish
+// before their connections are cut.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7779", "listen address")
+	drain := flag.Duration("drain", 0, "on shutdown, let in-flight requests finish for up to this long before cutting connections (0 = cut immediately)")
 	flag.Parse()
 
 	srv, err := hproto.NewServer(*addr)
@@ -38,8 +43,14 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("harmonyd: shutting down")
-	if err := srv.Close(); err != nil {
+	if *drain > 0 {
+		fmt.Printf("harmonyd: shutting down (draining up to %v)\n", *drain)
+		err = srv.DrainClose(*drain)
+	} else {
+		fmt.Println("harmonyd: shutting down")
+		err = srv.Close()
+	}
+	if err != nil {
 		log.Printf("harmonyd: close: %v", err)
 	}
 }

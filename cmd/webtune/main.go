@@ -17,15 +17,18 @@
 //	figure7a  reconfiguration: proxy node → application tier
 //	figure7b  reconfiguration: application node → proxy tier
 //	adaptive  the full §IV loop: tuning + periodic reconfiguration
-//	sweep     parameter sweep over lab knobs (requires -sweep)
+//	sweep     parameter sweep over lab knobs (requires -sweep; add -tuned
+//	          to run a tuning session against the default configuration at
+//	          every grid point, paired under common random numbers)
 //	all       everything above
 //
-// Flags select the scale (-scale quick|standard|paper), iteration counts,
-// the random seed, the parallel fan-out width (-workers, default
-// GOMAXPROCS), the replicate count (-replicates R reruns table4 and
-// adaptive on R independently seeded labs, reporting mean ± σ ± 95% CI)
-// and the sweep grid (-sweep "browsers=400,550;think=0.3,0.6"). Results
-// are bit-for-bit identical at any -workers value; see -help.
+// Flags select the scale (-scale tiny|quick|standard|paper), iteration
+// counts, the random seed, the parallel fan-out width (-workers, default
+// GOMAXPROCS), the replicate count (-replicates R reruns table4, adaptive,
+// figure4, figure7a/b and sweep on R independently seeded labs, reporting
+// mean ± σ ± Student-t 95% CI) and the sweep grid
+// (-sweep "browsers=400,550;think=0.3,0.6"). Results are bit-for-bit
+// identical at any -workers value; see -help.
 package main
 
 import (
@@ -51,15 +54,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("webtune", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scale      = fs.String("scale", "quick", "experiment scale: quick, standard or paper")
+		scale      = fs.String("scale", "quick", "experiment scale: tiny, quick, standard or paper")
 		iters      = fs.Int("iters", 0, "tuning iterations (0 = per-scale default)")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		guard      = fs.Float64("guard", 0, "extreme-value guard factor (0 disables)")
 		outDir     = fs.String("out", "", "also write results as JSON and CSV into this directory")
 		sessions   = fs.Bool("sessions", false, "drive browsers through the TPC-W session graph")
 		workers    = fs.Int("workers", 0, "parallel workers for independent experiment units (0 = GOMAXPROCS); results are identical at any worker count")
-		replicates = fs.Int("replicates", 1, "independent replicates for table4/adaptive/sweep; seeds derive per replicate, results report mean ± σ ± 95% CI")
+		replicates = fs.Int("replicates", 1, "independent replicates for table4/adaptive/figure4/figure7a/figure7b/sweep; seeds derive per replicate, results report mean ± σ ± 95% CI")
 		sweepSpec  = fs.String("sweep", "", `sweep grid for the sweep experiment, e.g. "browsers=400,550;think=0.3,0.6;shape=1/1/1,2/2/2"`)
+		tuned      = fs.Bool("tuned", false, "run a tuning session at every sweep grid point and report the paired default-vs-tuned gain (sweep experiment only)")
 	)
 	usage := func() {
 		fmt.Fprintln(stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|sweep|all>")
@@ -110,6 +114,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, `webtune: the sweep experiment needs a grid, e.g. -sweep "browsers=400,550;think=0.3,0.6"`)
 		return 2
 	}
+	if *tuned && what != "sweep" && what != "all" {
+		fmt.Fprintf(stderr, "webtune: -tuned only applies to the sweep experiment, not %q\n", what)
+		return 2
+	}
 
 	run := func(name string, fn func()) {
 		if what != name && what != "all" {
@@ -144,6 +152,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fig4
 	}
 	run("figure4", func() {
+		if R > 1 {
+			res := webharmony.RunFigure4Replicated(cfg, n, max(5, n/12), R, opts)
+			webharmony.PrintFigure4Replicated(stdout, res)
+			export(*outDir, stderr, "figure4", res, func(w io.Writer) error {
+				return webharmony.WriteFigure4ReplicatedCSV(w, res)
+			})
+			return
+		}
 		res := ensureFig4()
 		webharmony.PrintFigure4(stdout, res)
 		export(*outDir, stderr, "figure4", res, func(w io.Writer) error {
@@ -213,6 +229,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fig7res
 	}
 	showFig7 := func(name string) {
+		if R > 1 {
+			fo := fig7opts[0]
+			if name == "figure7b" {
+				fo = fig7opts[1]
+			}
+			res := webharmony.RunFigure7Replicated(fig7cfg, fo, R)
+			webharmony.PrintFigure7Replicated(stdout, res)
+			export(*outDir, stderr, name, res, func(w io.Writer) error {
+				return webharmony.WriteFigure7ReplicatedCSV(w, res)
+			})
+			return
+		}
 		res := ensureFig7()[name]
 		webharmony.PrintFigure7(stdout, res)
 		export(*outDir, stderr, name, res, func(w io.Writer) error {
@@ -262,6 +290,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if axes == nil {
 			return // "all" without a -sweep grid
 		}
+		if *tuned {
+			res := webharmony.RunTunedSweep(cfg, webharmony.Shopping, axes, R, max(3, n/25), max(6, n/10), opts)
+			webharmony.PrintTunedSweep(stdout, res)
+			export(*outDir, stderr, "tunedsweep", res, func(w io.Writer) error {
+				return webharmony.WriteTunedSweepCSV(w, res)
+			})
+			return
+		}
 		res := webharmony.RunSweep(cfg, webharmony.Shopping, axes, R, max(3, n/25))
 		webharmony.PrintSweep(stdout, res)
 		export(*outDir, stderr, "sweep", res, func(w io.Writer) error {
@@ -306,6 +342,8 @@ func printAdaptiveReplicated(w io.Writer, results []*webharmony.AdaptiveResult) 
 // labFor maps a scale name to a lab configuration and default iterations.
 func labFor(scale string) (webharmony.LabConfig, int, error) {
 	switch scale {
+	case "tiny":
+		return webharmony.TinyLab(), 16, nil
 	case "quick":
 		return webharmony.QuickLab(), 80, nil
 	case "standard":

@@ -31,6 +31,9 @@ func TestFlagAndArgumentErrors(t *testing.T) {
 		{"bad-workers-value", []string{"-workers", "x", "table1"}, "invalid value"},
 		{"bad-sweep-spec", []string{"-sweep", "cpus=1,2", "sweep"}, `unknown axis "cpus"`},
 		{"sweep-without-grid", []string{"sweep"}, "needs a grid"},
+		{"tuned-sweep-without-grid", []string{"-tuned", "sweep"}, "needs a grid"},
+		{"tuned-outside-sweep", []string{"-tuned", "table1"}, "-tuned only applies to the sweep experiment"},
+		{"tuned-nonfinite-think", []string{"-tuned", "-sweep", "think=NaN", "sweep"}, "bad think value"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -36,9 +36,29 @@ func WriteSweepCSV(w io.Writer, res *SweepResult) error {
 	return core.WriteSweepCSV(w, res)
 }
 
+// WriteTunedSweepCSV writes a tuned sweep as long-form CSV: one row per
+// (knob-combination, replicate) with the paired default/tuned WIPS, the
+// gain, and the cell's mean ± σ ± 95% CI aggregates.
+func WriteTunedSweepCSV(w io.Writer, res *TunedSweepResult) error {
+	return core.WriteTunedSweepCSV(w, res)
+}
+
+// WriteFigure4ReplicatedCSV writes the replicated Figure 4 matrix as
+// long-form CSV: one row per (configuration, workload) with
+// across-replicate mean ± σ ± 95% CI.
+func WriteFigure4ReplicatedCSV(w io.Writer, res *Figure4Replicated) error {
+	return core.WriteFigure4ReplicatedCSV(w, res)
+}
+
 // WriteFigure7CSV writes a Figure 7 reconfiguration run as CSV.
 func WriteFigure7CSV(w io.Writer, res *Figure7Result) error {
 	return core.WriteFigure7CSV(w, res)
+}
+
+// WriteFigure7ReplicatedCSV writes a replicated Figure 7 run as CSV: one
+// row per iteration with across-replicate mean ± σ ± 95% CI.
+func WriteFigure7ReplicatedCSV(w io.Writer, res *Figure7Replicated) error {
+	return core.WriteFigure7ReplicatedCSV(w, res)
 }
 
 // WriteSeriesCSV writes an iteration-indexed series as CSV.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 
+	"webharmony/internal/stats"
 	"webharmony/internal/tpcw"
 )
 
@@ -162,6 +163,97 @@ func WriteSweepCSV(w io.Writer, res *SweepResult) error {
 	return cw.Error()
 }
 
+// WriteTunedSweepCSV writes a tuned sweep in long form: one row per
+// (knob-combination, replicate) carrying the paired observation
+// (wips_default, wips_tuned, gain, rel_gain) followed by the row's cell
+// aggregates (mean ± σ ± Student-t 95% CI for both arms and the paired
+// gain), repeated on every row of the cell so each row is self-contained
+// for group-by-free plotting.
+func WriteTunedSweepCSV(w io.Writer, res *TunedSweepResult) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, res.Axes...),
+		"replicate", "wips_default", "wips_tuned", "gain", "rel_gain",
+		"mean_default", "sd_default", "ci95_default",
+		"mean_tuned", "sd_tuned", "ci95_tuned",
+		"mean_gain", "sd_gain", "ci95_gain",
+		"mean_rel_gain", "ci95_rel_gain")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for k, row := range res.Rows {
+		cell := res.Cells[k/res.Replicates]
+		rec := append(append([]string{}, row.Values...),
+			strconv.Itoa(row.Replicate),
+			formatFloat(row.DefaultWIPS), formatFloat(row.TunedWIPS),
+			formatFloat(row.Gain), formatFloat(row.RelGain),
+			formatFloat(cell.Default.Mean), formatFloat(cell.Default.StdDev), formatFloat(cell.Default.CI95),
+			formatFloat(cell.Tuned.Mean), formatFloat(cell.Tuned.StdDev), formatFloat(cell.Tuned.CI95),
+			formatFloat(cell.Gain.Mean), formatFloat(cell.Gain.StdDev), formatFloat(cell.Gain.CI95),
+			formatFloat(cell.RelGain.Mean), formatFloat(cell.RelGain.CI95))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4ReplicatedCSV writes the replicated cross-workload matrix
+// in long form: one row per (configuration, workload) cell with its
+// across-replicate mean ± σ ± 95% CI; native cells additionally carry the
+// summarized improvement over the default configuration.
+func WriteFigure4ReplicatedCSV(w io.Writer, res *Figure4Replicated) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "workload",
+		"mean_wips", "sd_wips", "ci95_wips",
+		"mean_native_improvement", "ci95_native_improvement"}); err != nil {
+		return err
+	}
+	row := func(name string, on tpcw.Workload, s, imp *stats.Summary) error {
+		rec := []string{name, on.String(),
+			formatFloat(s.Mean), formatFloat(s.StdDev), formatFloat(s.CI95), "", ""}
+		if imp != nil {
+			rec[5], rec[6] = formatFloat(imp.Mean), formatFloat(imp.CI95)
+		}
+		return cw.Write(rec)
+	}
+	for _, on := range tpcw.Workloads() {
+		if err := row("default", on, &res.Default[on], nil); err != nil {
+			return err
+		}
+	}
+	for _, from := range tpcw.Workloads() {
+		for _, on := range tpcw.Workloads() {
+			var imp *stats.Summary
+			if from == on {
+				imp = &res.Improvement[on]
+			}
+			if err := row("best-of-"+from.String(), on, &res.Matrix[from][on], imp); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure7ReplicatedCSV writes a replicated reconfiguration run as
+// one row per iteration with the across-replicate mean ± σ ± 95% CI.
+func WriteFigure7ReplicatedCSV(w io.Writer, res *Figure7Replicated) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iteration", "mean_wips", "sd_wips", "ci95_wips"}); err != nil {
+		return err
+	}
+	for i, s := range res.WIPS {
+		if err := cw.Write([]string{strconv.Itoa(i + 1),
+			formatFloat(s.Mean), formatFloat(s.StdDev), formatFloat(s.CI95)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
 }
@@ -174,6 +266,12 @@ func ExportName(result any) string {
 		return "sec3a"
 	case *Figure4Result:
 		return "figure4"
+	case *Figure4Replicated:
+		return "figure4"
+	case *Figure7Replicated:
+		return "figure7"
+	case *TunedSweepResult:
+		return "tunedsweep"
 	case *Figure5Result:
 		return "figure5"
 	case *Table4Result:

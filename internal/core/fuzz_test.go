@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonicalSpec re-serializes parsed axes into the -sweep grammar. Labels
+// are already canonical (Itoa / FormatFloat 'g' / "p/a/d"), so parsing a
+// canonical spec must reproduce the same axis names and labels.
+func canonicalSpec(axes []SweepAxis) string {
+	parts := make([]string, len(axes))
+	for i, ax := range axes {
+		parts[i] = ax.Name + "=" + strings.Join(ax.Labels, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+// FuzzParseSweepSpec pins the parser's safety contract: it never panics,
+// every accepted spec re-parses from its canonical form to the same axes
+// (names and labels), and rejection always comes with an error rather
+// than a nil/nil return.
+func FuzzParseSweepSpec(f *testing.F) {
+	for _, seed := range []string{
+		"browsers=140,250",
+		"browsers=140,250;think=0.3,0.6;shape=1/1/1,2/2/2",
+		"scale=10000;think=0.5",
+		"shape=1/1/1",
+		" browsers = 60 , 80 ; scale = 800 ",
+		"",
+		";;",
+		"browsers",
+		"browsers=",
+		"browsers=0",
+		"browsers=-5",
+		"think=NaN",
+		"think=+Inf",
+		"think=1e309",
+		"shape=1/1",
+		"shape=1/1/1/1",
+		"shape=0/1/1",
+		"browsers=1;browsers=2",
+		"unknown=1",
+		"browsers=1,,2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		axes, err := ParseSweepSpec(spec)
+		if err != nil {
+			if axes != nil {
+				t.Fatalf("ParseSweepSpec(%q) returned axes alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(axes) == 0 {
+			t.Fatalf("ParseSweepSpec(%q) accepted a spec but returned no axes", spec)
+		}
+		for _, ax := range axes {
+			if len(ax.Labels) == 0 || ax.Apply == nil {
+				t.Fatalf("ParseSweepSpec(%q) produced unusable axis %q", spec, ax.Name)
+			}
+		}
+		canon := canonicalSpec(axes)
+		again, err := ParseSweepSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if len(again) != len(axes) {
+			t.Fatalf("canonical re-parse of %q has %d axes, want %d", canon, len(again), len(axes))
+		}
+		for i := range axes {
+			if again[i].Name != axes[i].Name ||
+				strings.Join(again[i].Labels, ",") != strings.Join(axes[i].Labels, ",") {
+				t.Fatalf("canonical re-parse of %q axis %d = %s=%s, want %s=%s",
+					canon, i, again[i].Name, strings.Join(again[i].Labels, ","),
+					axes[i].Name, strings.Join(axes[i].Labels, ","))
+			}
+		}
+	})
+}

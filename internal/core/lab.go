@@ -75,6 +75,20 @@ func QuickLab() LabConfig {
 	}
 }
 
+// TinyLab returns a deliberately undersized setup for byte-level golden
+// and determinism tests: enough load for nonzero WIPS and minimal
+// warm/measure/cool windows, so a full experiment runs in seconds.
+// Numbers at this scale mean nothing — it exists so regression tests can
+// pin exact output bytes cheaply (webtune -scale tiny).
+func TinyLab() LabConfig {
+	return LabConfig{
+		ProxyNodes: 1, AppNodes: 1, DBNodes: 1,
+		Browsers: 80, ThinkMean: 0.5, Scale: 800,
+		Warm: 2, Measure: 8, Cool: 1,
+		Seed: 1,
+	}
+}
+
 // Lab is one instantiated experiment: a simulated cluster under TPC-W load
 // with per-iteration measurement, usable as a harmony.Target.
 type Lab struct {

@@ -56,13 +56,10 @@ func TestForEachPropagatesPanic(t *testing.T) {
 
 // parallelTestLab is a heavily scaled-down setup: the determinism tests
 // compare byte-for-byte equality of two runs, which does not need
-// converged tuning, only enough load for nonzero WIPS.
+// converged tuning, only enough load for nonzero WIPS. It is TinyLab,
+// the same setup webtune's golden-file tests run at.
 func parallelTestLab() LabConfig {
-	cfg := QuickLab()
-	cfg.Browsers = 80
-	cfg.Scale = 800
-	cfg.Warm, cfg.Measure, cfg.Cool = 2, 8, 1
-	return cfg
+	return TinyLab()
 }
 
 // exportJSON renders a result through the same exporter the CLI uses, so

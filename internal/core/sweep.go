@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -180,7 +181,10 @@ func ParseSweepSpec(spec string) ([]SweepAxis, error) {
 			var fs []float64
 			for _, v := range vals {
 				x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-				if err != nil || x <= 0 {
+				// Reject non-finite values explicitly: NaN compares false
+				// against everything (so it would slip past x <= 0) and a
+				// +Inf think time would wedge the simulation.
+				if err != nil || math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
 					return nil, fmt.Errorf("sweep: bad think value %q", v)
 				}
 				fs = append(fs, x)

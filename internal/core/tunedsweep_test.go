@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"webharmony/internal/harmony"
+	"webharmony/internal/stats"
+	"webharmony/internal/tpcw"
+)
+
+func tunedSweepCSV(t *testing.T, res *TunedSweepResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTunedSweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunTunedSweepDeterminism pins the byte-equality contract for the
+// tuned grid driver: JSON and long-form CSV are identical at workers=1
+// and workers=4.
+func TestRunTunedSweepDeterminism(t *testing.T) {
+	got := map[int][]byte{}
+	for _, workers := range []int{1, 4} {
+		cfg := parallelTestLab()
+		cfg.Workers = workers
+		res := RunTunedSweep(cfg, tpcw.Shopping,
+			[]SweepAxis{BrowsersAxis(60, 80)}, 2, 1, 3, harmony.Options{Seed: 9})
+		got[workers] = append(exportJSON(t, res), tunedSweepCSV(t, res)...)
+	}
+	if !bytes.Equal(got[1], got[4]) {
+		t.Errorf("tuned sweep export differs between workers=1 and workers=4:\n--- workers=1\n%s\n--- workers=4\n%s",
+			got[1], got[4])
+	}
+}
+
+// TestRunTunedSweepPairing asserts the common-random-numbers pairing: the
+// default arm reproduces RunSweep's wips column bit-for-bit (same grid,
+// replicates and iterations), and the gain columns are the exact paired
+// differences with the cell aggregates matching stats.Summarize /
+// stats.SummarizePaired over the rows.
+func TestRunTunedSweepPairing(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 2
+	axes := []SweepAxis{BrowsersAxis(60, 80)}
+	const R, iters = 2, 1
+	tuned := RunTunedSweep(cfg, tpcw.Shopping, axes, R, iters, 3, harmony.Options{Seed: 9})
+	plain := RunSweep(cfg, tpcw.Shopping, axes, R, iters)
+
+	if len(tuned.Rows) != len(plain.Rows) {
+		t.Fatalf("got %d tuned rows, want %d", len(tuned.Rows), len(plain.Rows))
+	}
+	for i, row := range tuned.Rows {
+		if row.DefaultWIPS != plain.Rows[i].WIPS {
+			t.Errorf("row %d DefaultWIPS = %v, want RunSweep's %v", i, row.DefaultWIPS, plain.Rows[i].WIPS)
+		}
+		if row.Gain != row.TunedWIPS-row.DefaultWIPS {
+			t.Errorf("row %d Gain = %v, want %v", i, row.Gain, row.TunedWIPS-row.DefaultWIPS)
+		}
+		if want := stats.Improvement(row.DefaultWIPS, row.TunedWIPS); row.RelGain != want {
+			t.Errorf("row %d RelGain = %v, want %v", i, row.RelGain, want)
+		}
+		if row.TunedWIPS <= 0 {
+			t.Errorf("row %d has non-positive tuned WIPS %v", i, row.TunedWIPS)
+		}
+	}
+	if len(tuned.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(tuned.Cells))
+	}
+	for c, cell := range tuned.Cells {
+		defs := make([]float64, R)
+		tuneds := make([]float64, R)
+		for r := 0; r < R; r++ {
+			defs[r] = tuned.Rows[c*R+r].DefaultWIPS
+			tuneds[r] = tuned.Rows[c*R+r].TunedWIPS
+		}
+		if cell.Default != stats.Summarize(defs) || cell.Tuned != stats.Summarize(tuneds) {
+			t.Errorf("cell %d arm summaries do not match the rows", c)
+		}
+		if cell.Gain != stats.SummarizePaired(defs, tuneds) {
+			t.Errorf("cell %d Gain = %+v, want the paired summary %+v",
+				c, cell.Gain, stats.SummarizePaired(defs, tuneds))
+		}
+		if got, want := strings.Join(cell.Values, ","), strings.Join(tuned.Rows[c*R].Values, ","); got != want {
+			t.Errorf("cell %d values = %q, want %q", c, got, want)
+		}
+	}
+}
+
+// TestRunTunedSweepGridIndependence asserts seed independence from grid
+// composition: a cell's numbers (both arms) are identical whether the
+// point runs alone or inside a larger grid, because replicate seeds
+// depend only on the replicate index.
+func TestRunTunedSweepGridIndependence(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 2
+	opts := harmony.Options{Seed: 9}
+	alone := RunTunedSweep(cfg, tpcw.Shopping, []SweepAxis{BrowsersAxis(60)}, 2, 1, 3, opts)
+	within := RunTunedSweep(cfg, tpcw.Shopping, []SweepAxis{BrowsersAxis(60, 80)}, 2, 1, 3, opts)
+	for r := 0; r < 2; r++ {
+		a, b := alone.Rows[r], within.Rows[r]
+		if a.DefaultWIPS != b.DefaultWIPS || a.TunedWIPS != b.TunedWIPS {
+			t.Errorf("replicate %d of browsers=60 depends on the grid: (%v, %v) alone vs (%v, %v) in a 2-point grid",
+				r, a.DefaultWIPS, a.TunedWIPS, b.DefaultWIPS, b.TunedWIPS)
+		}
+	}
+}
+
+// TestRunTunedSweepRaceStress drives the tuned-sweep fan-out through a
+// worker pool wider than the task count; it exists to run under -race
+// (the CI race job covers internal/core) and to catch shared-state
+// regressions in the paired units.
+func TestRunTunedSweepRaceStress(t *testing.T) {
+	cfg := parallelTestLab()
+	cfg.Workers = 16
+	res := RunTunedSweep(cfg, tpcw.Shopping,
+		[]SweepAxis{BrowsersAxis(60, 80), ThinkAxis(0.4, 0.6)}, 2, 1, 2, harmony.Options{Seed: 9})
+	if len(res.Rows) != 8 || len(res.Cells) != 4 {
+		t.Fatalf("got %d rows / %d cells, want 8 / 4", len(res.Rows), len(res.Cells))
+	}
+	for i, row := range res.Rows {
+		if row.DefaultWIPS <= 0 || row.TunedWIPS <= 0 {
+			t.Errorf("row %d has non-positive WIPS: default %v, tuned %v", i, row.DefaultWIPS, row.TunedWIPS)
+		}
+	}
+}
+
+func TestWriteTunedSweepCSVGolden(t *testing.T) {
+	res := &TunedSweepResult{
+		Axes:       []string{"browsers"},
+		Replicates: 2,
+		Iters:      1,
+		TuneIters:  3,
+		Rows: []TunedSweepRow{
+			{Values: []string{"100"}, Replicate: 0, DefaultWIPS: 10, TunedWIPS: 12, Gain: 2, RelGain: 0.2},
+			{Values: []string{"100"}, Replicate: 1, DefaultWIPS: 20, TunedWIPS: 22, Gain: 2, RelGain: 0.1},
+		},
+		Cells: []TunedSweepCell{{
+			Values:  []string{"100"},
+			Default: stats.Summarize([]float64{10, 20}),
+			Tuned:   stats.Summarize([]float64{12, 22}),
+			Gain:    stats.SummarizePaired([]float64{10, 20}, []float64{12, 22}),
+			RelGain: stats.Summarize([]float64{0.2, 0.1}),
+		}},
+	}
+	got := string(tunedSweepCSV(t, res))
+	wantHeader := "browsers,replicate,wips_default,wips_tuned,gain,rel_gain," +
+		"mean_default,sd_default,ci95_default,mean_tuned,sd_tuned,ci95_tuned," +
+		"mean_gain,sd_gain,ci95_gain,mean_rel_gain,ci95_rel_gain"
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 || lines[0] != wantHeader {
+		t.Fatalf("tuned sweep CSV = %q, want header %q plus two rows", got, wantHeader)
+	}
+	// The paired gain has zero spread here (a constant +2), so the CSV
+	// must show a zero-width interval even though both arms vary.
+	if !strings.HasPrefix(lines[1], "100,0,10,12,2,0.2,15,") {
+		t.Errorf("row 1 = %q, want prefix \"100,0,10,12,2,0.2,15,\"", lines[1])
+	}
+	if !strings.Contains(lines[1], ",2,0,0,") {
+		t.Errorf("row 1 = %q, want the zero-spread paired gain columns \"2,0,0\"", lines[1])
+	}
+}
+
+// TestRunTunedSweepRejectsBadArgs pins the argument contract.
+func TestRunTunedSweepRejectsBadArgs(t *testing.T) {
+	cases := []func(){
+		func() {
+			RunTunedSweep(parallelTestLab(), tpcw.Shopping, nil, 1, 1, 1, harmony.Options{})
+		},
+		func() {
+			RunTunedSweep(parallelTestLab(), tpcw.Shopping, []SweepAxis{BrowsersAxis(60)}, 0, 1, 1, harmony.Options{})
+		},
+		func() {
+			RunTunedSweep(parallelTestLab(), tpcw.Shopping, []SweepAxis{BrowsersAxis(60)}, 1, 0, 1, harmony.Options{})
+		},
+		func() {
+			RunTunedSweep(parallelTestLab(), tpcw.Shopping, []SweepAxis{BrowsersAxis(60)}, 1, 1, 0, harmony.Options{})
+		},
+		func() {
+			RunTunedSweep(parallelTestLab(), tpcw.Shopping, []SweepAxis{{Name: "empty"}}, 1, 1, 1, harmony.Options{})
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

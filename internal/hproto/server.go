@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"webharmony/internal/harmony"
 	"webharmony/internal/param"
@@ -59,6 +60,28 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // connection open between requests). Close is idempotent; concurrent and
 // repeated calls wait for the same shutdown and return nil.
 func (s *Server) Close() error {
+	return s.shutdown(func(c net.Conn) { _ = c.Close() })
+}
+
+// DrainClose stops the listener, then gives live connections up to d to
+// finish before they are cut: instead of closing each connection it arms
+// an absolute read/write deadline d from now, so a handler that has just
+// read a request can still compute and write its response, and clients
+// that close their side release their handler immediately via EOF. The
+// server cannot tell an idle keep-alive connection from one whose request
+// is about to arrive, so a client that simply stays connected holds its
+// handler until the deadline expires — d bounds the drain, it is not a
+// minimum. Like Close, DrainClose is idempotent; if a shutdown is already
+// running it waits for that shutdown instead of starting another.
+func (s *Server) DrainClose(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	return s.shutdown(func(c net.Conn) { _ = c.SetDeadline(deadline) })
+}
+
+// shutdown runs the shared close sequence: mark the server closed, stop
+// the listener, apply cut to every live connection (close it outright or
+// arm a drain deadline) and wait for all handlers to return.
+func (s *Server) shutdown(cut func(net.Conn)) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -74,7 +97,7 @@ func (s *Server) Close() error {
 
 	err := s.ln.Close()
 	for _, c := range conns {
-		c.Close() // unblocks handlers parked in ReadBytes
+		cut(c) // unblocks handlers parked in a read, now or at the deadline
 	}
 	s.wg.Wait()
 	return err

@@ -120,3 +120,111 @@ func TestConcurrentConnectCloseStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDrainCloseServesInFlightRequests pins the graceful path: during the
+// drain window an already-connected client can still complete a request
+// and gets a real response; once it closes its side, DrainClose returns
+// without waiting out the rest of the (deliberately long) window.
+func TestDrainCloseServesInFlightRequests(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One round trip so the handler is provably up before the drain starts.
+	if err := c.Register("drain", testDefs(), "", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.DrainClose(30 * time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let the drain deadline arm
+
+	start := time.Now()
+	if _, _, err := c.Next("drain"); err != nil {
+		t.Fatalf("request during the drain window failed: %v", err)
+	}
+	c.Close() // client done; its handler sees EOF and exits
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("DrainClose: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainClose waited for the full window after the last client left")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("DrainClose took %v, want a prompt return once clients are gone", waited)
+	}
+}
+
+// TestDrainCloseCutsIdleClientAtDeadline pins the timeout path: a client
+// that holds its connection open without sending anything cannot stall
+// shutdown past the drain window — the armed deadline fails the handler's
+// read and DrainClose returns.
+func TestDrainCloseCutsIdleClientAtDeadline(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register("stuck", testDefs(), "", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.DrainClose(100 * time.Millisecond) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("DrainClose: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainClose hung on a client that never disconnects")
+	}
+
+	// The connection's deadline has expired server-side: the next request
+	// must fail rather than hang.
+	if _, _, err := c.Next("stuck"); err == nil {
+		t.Error("request succeeded after the drain deadline cut the connection")
+	}
+}
+
+// TestDrainCloseIdempotentWithClose verifies a DrainClose racing plain
+// Close (and repeated DrainClose calls) all settle on one shutdown.
+func TestDrainCloseIdempotentWithClose(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				srv.DrainClose(50 * time.Millisecond)
+			} else {
+				srv.Close()
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent DrainClose/Close calls hung")
+	}
+	if err := srv.DrainClose(time.Second); err != nil {
+		t.Errorf("DrainClose after shutdown: %v", err)
+	}
+}

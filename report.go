@@ -58,6 +58,30 @@ func PrintFigure4(w io.Writer, res *Figure4Result) {
 		100*res.Improvement[Browsing], 100*res.Improvement[Shopping], 100*res.Improvement[Ordering])
 }
 
+// PrintFigure4Replicated renders the cross-workload matrix with every
+// cell summarized across replicates: mean ± σ (±95% CI).
+func PrintFigure4Replicated(w io.Writer, res *Figure4Replicated) {
+	cell := func(s stats.Summary) string {
+		return fmt.Sprintf("%.1f ± %.1f (±%.1f)", s.Mean, s.StdDev, s.CI95)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WIPS mean ± σ (±95% CI)\trun: browsing\trun: shopping\trun: ordering")
+	fmt.Fprintf(tw, "default config\t%s\t%s\t%s\n",
+		cell(res.Default[Browsing]), cell(res.Default[Shopping]), cell(res.Default[Ordering]))
+	for _, from := range Workloads() {
+		fmt.Fprintf(tw, "best-of-%v\t%s\t%s\t%s\n", from,
+			cell(res.Matrix[from][Browsing]), cell(res.Matrix[from][Shopping]), cell(res.Matrix[from][Ordering]))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "Improvement of native tuned config over default, across %d replicates (paper: 15%% / 16%% / 5%%):\n",
+		res.Replicates)
+	for _, wl := range Workloads() {
+		s := res.Improvement[wl]
+		fmt.Fprintf(w, "  %v %+.1f%% ± %.1f%% (95%% CI ±%.1f%%)\n",
+			wl, 100*s.Mean, 100*s.StdDev, 100*s.CI95)
+	}
+}
+
 // PrintTable3 renders the tuned parameter values per workload (Table 3).
 func PrintTable3(w io.Writer, res *Figure4Result) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -156,6 +180,49 @@ func PrintSweep(w io.Writer, res *SweepResult) {
 	tw.Flush()
 	fmt.Fprintf(w, "(%d replicates per point under common random numbers; workload %v)\n",
 		res.Replicates, res.Workload)
+}
+
+// PrintTunedSweep renders a tuned sweep: one line per knob combination
+// comparing the default and tuned arms with the paired gain and its
+// confidence interval — where the gain interval excludes zero, tuning
+// pays (or costs) significantly at that grid point.
+func PrintTunedSweep(w io.Writer, res *TunedSweepResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tdefault WIPS\ttuned WIPS\tgain (95%% CI)\trel gain\n", strings.Join(res.Axes, "\t"))
+	for _, cell := range res.Cells {
+		fmt.Fprintf(tw, "%s\t%.1f ± %.1f\t%.1f ± %.1f\t%+.1f ±%.1f\t%+.1f%% ±%.1f%%\n",
+			strings.Join(cell.Values, "\t"),
+			cell.Default.Mean, cell.Default.StdDev,
+			cell.Tuned.Mean, cell.Tuned.StdDev,
+			cell.Gain.Mean, cell.Gain.CI95,
+			100*cell.RelGain.Mean, 100*cell.RelGain.CI95)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "(%d replicates per point, paired under common random numbers; %d tuning + %d evaluation iterations per arm; workload %v)\n",
+		res.Replicates, res.TuneIters, res.Iters, res.Workload)
+}
+
+// PrintFigure7Replicated renders a replicated reconfiguration run: the
+// per-iteration WIPS summarized across replicates and the before/after
+// jump over the replicates that reconfigured.
+func PrintFigure7Replicated(w io.Writer, res *Figure7Replicated) {
+	fmt.Fprintf(w, "iteration\tmean WIPS\tσ\t95%% CI\n")
+	for i, s := range res.WIPS {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t±%.1f\n", i+1, s.Mean, s.StdDev, s.CI95)
+	}
+	fmt.Fprintf(w, "replicates that reconfigured: %d of %d\n", res.Moved, res.Replicates)
+	for r, d := range res.Decisions {
+		if d != "" {
+			fmt.Fprintf(w, "  replicate %d: %s\n", r, d)
+		}
+	}
+	if res.Moved > 0 {
+		fmt.Fprintf(w, "throughput before move: %.1f ± %.1f WIPS, after: %.1f ± %.1f WIPS (%+.0f%% ±%.0f%%; paper: +62%%/+70%%)\n",
+			res.Before.Mean, res.Before.StdDev, res.After.Mean, res.After.StdDev,
+			100*res.Improvement.Mean, 100*res.Improvement.CI95)
+	} else {
+		fmt.Fprintln(w, "no replicate triggered a reconfiguration")
+	}
 }
 
 // PrintFigure7 renders a reconfiguration run.

@@ -54,6 +54,10 @@ func StandardLab() LabConfig { return core.StandardLab() }
 // QuickLab returns a scaled-down setup for tests and demos.
 func QuickLab() LabConfig { return core.QuickLab() }
 
+// TinyLab returns a deliberately undersized setup for byte-level golden
+// and determinism tests (webtune -scale tiny); its numbers mean nothing.
+func TinyLab() LabConfig { return core.TinyLab() }
+
 // TunerOptions configures the Active Harmony search (algorithm, seed,
 // extreme-value guard, workload-shift detection).
 type TunerOptions = harmony.Options
@@ -97,6 +101,18 @@ type Figure4Result = core.Figure4Result
 // bit-for-bit identical results at any worker count.
 func RunFigure4(cfg LabConfig, iters, evalIters int, opts TunerOptions) *Figure4Result {
 	return core.RunFigure4(cfg, iters, evalIters, opts)
+}
+
+// Figure4Replicated is the Figure 4 matrix with every cell summarized
+// across R replicates (mean ± σ ± Student-t 95% CI).
+type Figure4Replicated = core.Figure4Replicated
+
+// RunFigure4Replicated reruns Figure 4 R times on independently seeded
+// labs and tuners and summarizes every matrix cell, default column and
+// native improvement across the replicates. All units fan out over
+// cfg.Workers with bit-for-bit identical output at any worker count.
+func RunFigure4Replicated(cfg LabConfig, iters, evalIters, R int, opts TunerOptions) *Figure4Replicated {
+	return core.RunFigure4Replicated(cfg, iters, evalIters, R, opts)
 }
 
 // Figure5Result is the workload-responsiveness experiment output.
@@ -177,6 +193,27 @@ func RunSweep(cfg LabConfig, w Workload, axes []SweepAxis, R, iters int) *SweepR
 // ("browsers=140,250;think=0.3,0.6;shape=1/1/1,2/2/2") into sweep axes.
 func ParseSweepSpec(spec string) ([]SweepAxis, error) { return core.ParseSweepSpec(spec) }
 
+// TunedSweepResult is the output of RunTunedSweep: paired long-form rows
+// plus per-cell aggregates (mean ± σ ± 95% CI for both arms and the
+// paired gain).
+type TunedSweepResult = core.TunedSweepResult
+
+// TunedSweepRow is one paired (default, tuned) observation.
+type TunedSweepRow = core.TunedSweepRow
+
+// TunedSweepCell aggregates one knob combination across replicates.
+type TunedSweepCell = core.TunedSweepCell
+
+// RunTunedSweep runs, for every grid point, R replicated tuning sessions
+// alongside R default-configuration replicates (paired under common
+// random numbers) and reports where tuning pays: default vs tuned WIPS
+// with absolute/relative gain and Student-t 95% confidence intervals per
+// cell. All units fan out over cfg.Workers with bit-for-bit identical
+// output at any worker count.
+func RunTunedSweep(cfg LabConfig, w Workload, axes []SweepAxis, R, iters, tuneIters int, opts TunerOptions) *TunedSweepResult {
+	return core.RunTunedSweep(cfg, w, axes, R, iters, tuneIters, opts)
+}
+
 // Figure7Result is one automatic-reconfiguration experiment output.
 type Figure7Result = core.Figure7Result
 
@@ -201,6 +238,19 @@ func RunFigure7(cfg LabConfig, fo Figure7Options) *Figure7Result {
 // alone.
 func RunFigure7Variants(cfg LabConfig, fos ...Figure7Options) []*Figure7Result {
 	return core.RunFigure7Variants(cfg, nil, fos...)
+}
+
+// Figure7Replicated is a Figure 7 reconfiguration experiment with R
+// replicates: per-iteration WIPS summaries and the before/after jump
+// across the replicates that reconfigured.
+type Figure7Replicated = core.Figure7Replicated
+
+// RunFigure7Replicated reruns a Figure 7 variant R times on independently
+// seeded labs and summarizes every iteration across the replicates. The
+// replicates fan out over cfg.Workers with bit-for-bit identical output
+// at any worker count.
+func RunFigure7Replicated(cfg LabConfig, fo Figure7Options, R int) *Figure7Replicated {
+	return core.RunFigure7Replicated(cfg, fo, R)
 }
 
 // ForEach runs n independent tasks, task(0) … task(n-1), on a bounded
