@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replicates = fs.Int("replicates", 1, "independent replicates for table4/adaptive/figure4/figure7a/figure7b/sweep; seeds derive per replicate, results report mean ± σ ± 95% CI")
 		sweepSpec  = fs.String("sweep", "", `sweep grid for the sweep experiment, e.g. "browsers=400,550;think=0.3,0.6;shape=1/1/1,2/2/2"`)
 		tuned      = fs.Bool("tuned", false, "run a tuning session at every sweep grid point and report the paired default-vs-tuned gain (sweep experiment only)")
+		trace      = fs.String("trace", "", "write the tuner step trace (one JSON line per simplex move, restart or node move) to this file")
+		metrics    = fs.String("metrics", "", "write the per-tier metrics timeseries (utilization, queues, hit ratio, pools) as CSV to this file")
 	)
 	usage := func() {
 		fmt.Fprintln(stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|sweep|all>")
@@ -119,6 +121,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Create every requested output sink up front: an unwritable path must
+	// fail before hours of simulation, not after.
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "webtune: -out: %v\n", err)
+			return 2
+		}
+	}
+	var (
+		collector   *webharmony.TelemetryCollector
+		traceFile   *os.File
+		metricsFile *os.File
+	)
+	if *trace != "" || *metrics != "" {
+		collector = webharmony.NewTelemetryCollector()
+		cfg.Telemetry = collector
+		if *trace != "" {
+			if traceFile, err = os.Create(*trace); err != nil {
+				fmt.Fprintf(stderr, "webtune: -trace: %v\n", err)
+				return 2
+			}
+		}
+		if *metrics != "" {
+			if metricsFile, err = os.Create(*metrics); err != nil {
+				fmt.Fprintf(stderr, "webtune: -metrics: %v\n", err)
+				return 2
+			}
+		}
+	}
+
 	run := func(name string, fn func()) {
 		if what != name && what != "all" {
 			return
@@ -137,7 +169,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ws := []webharmony.Workload{webharmony.Browsing, webharmony.Ordering}
 		results := make([]*webharmony.SingleWorkloadResult, len(ws))
 		webharmony.ForEach(cfg.Workers, len(ws), func(i int) {
-			results[i] = webharmony.TuneWorkload(cfg, ws[i], n, max(6, n/10), opts)
+			c := cfg.WithTelemetryUnit("sec3a:" + ws[i].String())
+			results[i] = webharmony.TuneWorkload(c, ws[i], n, max(6, n/10), opts)
 		})
 		for _, res := range results {
 			webharmony.PrintSection3A(stdout, res)
@@ -147,13 +180,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var fig4 *webharmony.Figure4Result
 	ensureFig4 := func() *webharmony.Figure4Result {
 		if fig4 == nil {
-			fig4 = webharmony.RunFigure4(cfg, n, max(5, n/12), opts)
+			c := cfg.WithTelemetryUnit("figure4")
+			if R > 1 {
+				// The replicated figure4 path owns the "figure4" recorder
+				// names; this single run then only serves table3.
+				c = cfg.WithTelemetryUnit("table3")
+			}
+			fig4 = webharmony.RunFigure4(c, n, max(5, n/12), opts)
 		}
 		return fig4
 	}
 	run("figure4", func() {
 		if R > 1 {
-			res := webharmony.RunFigure4Replicated(cfg, n, max(5, n/12), R, opts)
+			res := webharmony.RunFigure4Replicated(cfg.WithTelemetryUnit("figure4"), n, max(5, n/12), R, opts)
 			webharmony.PrintFigure4Replicated(stdout, res)
 			export(*outDir, stderr, "figure4", res, func(w io.Writer) error {
 				return webharmony.WriteFigure4ReplicatedCSV(w, res)
@@ -173,7 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		phase := max(10, n/4)
 		shiftOpts := opts
 		shiftOpts.ShiftFactor = 0.25
-		res := webharmony.RunFigure5(cfg, seq, phase, 4, shiftOpts)
+		res := webharmony.RunFigure5(cfg.WithTelemetryUnit("figure5"), seq, phase, 4, shiftOpts)
 		webharmony.PrintFigure5(stdout, res)
 		export(*outDir, stderr, "figure5", res, func(w io.Writer) error {
 			return webharmony.WriteFigure5CSV(w, res)
@@ -181,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 
 	run("table4", func() {
-		c := cfg
+		c := cfg.WithTelemetryUnit("table4")
 		c.Browsers = cfg.Browsers * 5 / 2 // 6-node cluster, larger population
 		if R > 1 {
 			res := webharmony.RunTable4Replicated(c, n, R, opts)
@@ -220,7 +259,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fos = append(fos, fig7opts[i])
 				}
 			}
-			results := webharmony.RunFigure7Variants(fig7cfg, fos...)
+			c := fig7cfg.WithTelemetryUnit("figure7")
+			if len(names) == 1 {
+				c = fig7cfg.WithTelemetryUnit(names[0])
+			}
+			results := webharmony.RunFigure7Variants(c, fos...)
 			fig7res = make(map[string]*webharmony.Figure7Result, len(names))
 			for i, name := range names {
 				fig7res[name] = results[i]
@@ -234,7 +277,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if name == "figure7b" {
 				fo = fig7opts[1]
 			}
-			res := webharmony.RunFigure7Replicated(fig7cfg, fo, R)
+			res := webharmony.RunFigure7Replicated(fig7cfg.WithTelemetryUnit(name), fo, R)
 			webharmony.PrintFigure7Replicated(stdout, res)
 			export(*outDir, stderr, name, res, func(w io.Writer) error {
 				return webharmony.WriteFigure7ReplicatedCSV(w, res)
@@ -262,7 +305,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	run("adaptive", func() {
 		// The full §IV loop: tuning every iteration, reconfiguration
 		// checks at a lower frequency, on a mis-provisioned cluster.
-		c := fig7cfg
+		c := fig7cfg.WithTelemetryUnit("adaptive")
 		c.ProxyNodes, c.AppNodes, c.DBNodes = 2, 4, 1
 		if c.Warm < 12 {
 			c.Warm = 12
@@ -291,19 +334,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return // "all" without a -sweep grid
 		}
 		if *tuned {
-			res := webharmony.RunTunedSweep(cfg, webharmony.Shopping, axes, R, max(3, n/25), max(6, n/10), opts)
+			res := webharmony.RunTunedSweep(cfg.WithTelemetryUnit("tunedsweep"), webharmony.Shopping, axes, R, max(3, n/25), max(6, n/10), opts)
 			webharmony.PrintTunedSweep(stdout, res)
 			export(*outDir, stderr, "tunedsweep", res, func(w io.Writer) error {
 				return webharmony.WriteTunedSweepCSV(w, res)
 			})
 			return
 		}
-		res := webharmony.RunSweep(cfg, webharmony.Shopping, axes, R, max(3, n/25))
+		res := webharmony.RunSweep(cfg.WithTelemetryUnit("sweep"), webharmony.Shopping, axes, R, max(3, n/25))
 		webharmony.PrintSweep(stdout, res)
 		export(*outDir, stderr, "sweep", res, func(w io.Writer) error {
 			return webharmony.WriteSweepCSV(w, res)
 		})
 	})
+
+	// Flush the telemetry sinks last, once every experiment has finished.
+	if traceFile != nil {
+		err := collector.WriteTrace(traceFile)
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "webtune: -trace: %v\n", err)
+			return 1
+		}
+	}
+	if metricsFile != nil {
+		err := collector.WriteMetrics(metricsFile)
+		if cerr := metricsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "webtune: -metrics: %v\n", err)
+			return 1
+		}
+	}
 	return 0
 }
 

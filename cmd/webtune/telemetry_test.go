@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureTelemetry drives the CLI with -trace and -metrics into a fresh
+// directory and returns both files' contents.
+func captureTelemetry(t *testing.T, workers int, args ...string) (trace, metrics string) {
+	t.Helper()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.csv")
+	full := append([]string{
+		"-workers", fmt.Sprint(workers), "-trace", tracePath, "-metrics", metricsPath,
+	}, args...)
+	code, _, stderr := runCLI(t, full...)
+	if code != 0 {
+		t.Fatalf("webtune %s: exit code %d, stderr: %s", strings.Join(full, " "), code, stderr)
+	}
+	tb, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(tb), string(mb)
+}
+
+// TestGoldenTelemetry locks the trace JSONL and metrics CSV of the tiny
+// replicated figure4 run against golden files, and asserts both are
+// byte-identical between -workers 1 and -workers 4 — the acceptance bar
+// of the telemetry layer's determinism contract.
+// Regenerate with: go test ./cmd/webtune/ -run TestGoldenTelemetry -update
+func TestGoldenTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation golden test")
+	}
+	args := []string{"-scale", "tiny", "-iters", "4", "-replicates", "2", "figure4"}
+	trace, metrics := captureTelemetry(t, 1, args...)
+
+	for _, g := range []struct{ name, got string }{
+		{"figure4-trace.golden", trace},
+		{"figure4-metrics.golden", metrics},
+	} {
+		golden := filepath.Join("testdata", g.name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, []byte(g.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with -update): %v", err)
+		}
+		if g.got != string(want) {
+			t.Errorf("%s differs from golden (regenerate with -update if the change is intended)", g.name)
+		}
+	}
+
+	trace4, metrics4 := captureTelemetry(t, 4, args...)
+	if trace4 != trace {
+		t.Error("trace differs between -workers 1 and -workers 4")
+	}
+	if metrics4 != metrics {
+		t.Error("metrics differ between -workers 1 and -workers 4")
+	}
+}
+
+// TestTelemetrySinkFailFast asserts an uncreatable output file aborts the
+// run before any simulation starts.
+func TestTelemetrySinkFailFast(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-dir")
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"trace", []string{"-trace", filepath.Join(missing, "t.jsonl"), "table1"}, "-trace"},
+		{"metrics", []string{"-metrics", filepath.Join(missing, "m.csv"), "table1"}, "-metrics"},
+		{"out", []string{"-out", filepath.Join(blocker, "dir"), "table1"}, "-out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Errorf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr = %q, want it to name %q", stderr, tc.want)
+			}
+			if strings.Contains(stdout, "===") {
+				t.Errorf("experiment ran despite the bad sink; stdout: %q", stdout)
+			}
+		})
+	}
+}

@@ -243,3 +243,9 @@ func (s *Server) finish(respBytes int64, done func(ok bool)) {
 func (s *Server) QueueDepths() (httpQ, ajpQ int) {
 	return s.http.Waiting(), s.ajp.Waiting()
 }
+
+// ThreadsInUse returns the HTTP and AJP processor threads currently
+// serving requests, for diagnostics and the telemetry sampler.
+func (s *Server) ThreadsInUse() (httpBusy, ajpBusy int) {
+	return s.http.InUse(), s.ajp.InUse()
+}

@@ -6,6 +6,7 @@ import (
 	"webharmony/internal/monitor"
 	"webharmony/internal/param"
 	"webharmony/internal/reconfig"
+	"webharmony/internal/telemetry"
 )
 
 // AdaptiveOptions configures the full Active Harmony loop of §IV:
@@ -29,7 +30,8 @@ func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
 
 // MoveEvent records one executed reconfiguration.
 type MoveEvent struct {
-	Iteration int // 0-based iteration after which the move ran
+	Iteration int     // 0-based iteration after which the move ran
+	SimTime   float64 // simulated seconds at which the move ran
 	Decision  reconfig.Decision
 }
 
@@ -50,7 +52,8 @@ func RunAdaptive(lab *Lab, iters int, opts AdaptiveOptions) *AdaptiveResult {
 	opts = opts.withDefaults()
 	res := &AdaptiveResult{}
 	costs := labCosts(lab)
-	st := harmony.NewStrategy(opts.Strategy, lab, opts.WorkLines, opts.Tuner)
+	topts := withTrace(opts.Tuner, lab)
+	st := harmony.NewStrategy(opts.Strategy, lab, opts.WorkLines, topts)
 	acc := newUtilAccumulator()
 	for i := 0; i < iters; i++ {
 		wips := st.Step()
@@ -85,8 +88,13 @@ func RunAdaptive(lab *Lab, iters int, opts AdaptiveOptions) *AdaptiveResult {
 			}
 		}
 		lab.Sys.MoveNode(d.Node, d.To, bestForTier(lab, best, d.To))
-		res.Moves = append(res.Moves, MoveEvent{Iteration: i, Decision: d})
-		st = harmony.NewStrategy(opts.Strategy, lab, opts.WorkLines, opts.Tuner)
+		res.Moves = append(res.Moves, MoveEvent{
+			Iteration: i, SimTime: lab.Sys.Eng.Now(), Decision: d,
+		})
+		lab.RecordEvent(telemetry.Event{
+			Session: "reconfig", Kind: "move", Move: d.String(), Iter: i,
+		})
+		st = harmony.NewStrategy(opts.Strategy, lab, opts.WorkLines, topts)
 	}
 	return res
 }

@@ -9,6 +9,7 @@ import (
 	"webharmony/internal/param"
 	"webharmony/internal/reconfig"
 	"webharmony/internal/stats"
+	"webharmony/internal/telemetry"
 	"webharmony/internal/tpcw"
 	"webharmony/internal/websim"
 )
@@ -35,12 +36,12 @@ func TuneWorkload(cfg LabConfig, w tpcw.Workload, iters, baselineIters int, opts
 	res := &SingleWorkloadResult{Workload: w}
 
 	// Baseline: the default configuration, measured repeatedly.
-	base := NewLab(cfg, w)
+	base := NewLab(telemetrySub(cfg, "baseline"), w)
 	res.Baseline = base.MeasureConfig(DefaultConfigs(), baselineIters)
 
 	// Tuning run on a fresh, identically-seeded lab.
-	lab := NewLab(cfg, w)
-	st := harmony.NewStrategy(harmony.StrategyDefault, lab, 0, opts)
+	lab := NewLab(telemetrySub(cfg, "tuning"), w)
+	st := harmony.NewStrategy(harmony.StrategyDefault, lab, 0, withTrace(opts, lab))
 	for i := 0; i < iters; i++ {
 		st.Step()
 	}
@@ -106,7 +107,7 @@ func RunFigure4(cfg LabConfig, iters, evalIters int, opts harmony.Options) *Figu
 	// Phase 1: one tuning run per workload, each writing its own slot.
 	runs := make([]*SingleWorkloadResult, len(ws))
 	ForEach(cfg.Workers, len(ws), func(i int) {
-		runs[i] = TuneWorkload(cfg, ws[i], iters, evalIters, opts)
+		runs[i] = TuneWorkload(telemetrySub(cfg, "tune:"+ws[i].String()), ws[i], iters, evalIters, opts)
 	})
 	for i, w := range ws {
 		res.Runs[w] = runs[i]
@@ -118,7 +119,7 @@ func RunFigure4(cfg LabConfig, iters, evalIters int, opts harmony.Options) *Figu
 	// best-configuration maps are read-only from here on.
 	ForEach(cfg.Workers, len(ws)*len(ws), func(k int) {
 		from, on := ws[k/len(ws)], ws[k%len(ws)]
-		lab := NewLab(cfg, on)
+		lab := NewLab(telemetrySub(cfg, fmt.Sprintf("eval:%s-on-%s", from, on)), on)
 		series := lab.MeasureConfig(res.Best[from], evalIters)
 		res.Matrix[from][on] = stats.MeanOf(series)
 	})
@@ -146,7 +147,7 @@ func RunFigure5(cfg LabConfig, seq []tpcw.Workload, phaseLen, phases int, opts h
 		panic("core: bad Figure 5 arguments")
 	}
 	lab := NewLab(cfg, seq[0])
-	st := harmony.NewStrategy(harmony.StrategyDuplication, lab, 0, opts)
+	st := harmony.NewStrategy(harmony.StrategyDuplication, lab, 0, withTrace(opts, lab))
 	res := &Figure5Result{PhaseLen: phaseLen}
 	for p := 0; p < phases; p++ {
 		w := seq[p%len(seq)]
@@ -221,7 +222,7 @@ func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
 	ForEach(cfg.Workers, len(rows), func(i int) {
 		if i == 0 {
 			// Baseline: no tuning.
-			base := NewLab(cfg, tpcw.Shopping)
+			base := NewLab(telemetrySub(cfg, "baseline"), tpcw.Shopping)
 			baseSeries := base.MeasureConfig(DefaultConfigs(), iters/4)
 			rows[0] = Table4Row{
 				Method: "none",
@@ -231,8 +232,8 @@ func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
 			return
 		}
 		kind := kinds[i-1]
-		lab := NewLab(cfg, tpcw.Shopping)
-		st := harmony.NewStrategy(kind, lab, cfg.WorkLines, opts)
+		lab := NewLab(telemetrySub(cfg, "method:"+kind.String()), tpcw.Shopping)
+		st := harmony.NewStrategy(kind, lab, cfg.WorkLines, withTrace(opts, lab))
 		for k := 0; k < iters; k++ {
 			st.Step()
 		}
@@ -371,6 +372,9 @@ func RunFigure7(cfg LabConfig, fo Figure7Options, tierCfgs map[cluster.Tier]para
 				res.Moved = true
 				res.MovedAt = i
 				lab.Sys.MoveNode(d.Node, d.To, tierCfgs[d.To])
+				lab.RecordEvent(telemetry.Event{
+					Session: "reconfig", Kind: "move", Move: d.String(), Iter: i,
+				})
 			}
 		}
 	}
@@ -399,7 +403,13 @@ func RunFigure7(cfg LabConfig, fo Figure7Options, tierCfgs map[cluster.Tier]para
 func RunFigure7Variants(cfg LabConfig, tierCfgs map[cluster.Tier]param.Config, fos ...Figure7Options) []*Figure7Result {
 	out := make([]*Figure7Result, len(fos))
 	ForEach(cfg.Workers, len(fos), func(i int) {
-		out[i] = RunFigure7(cfg, fos[i], tierCfgs)
+		ccfg := cfg
+		if len(fos) > 1 {
+			// Distinguish variant recorders; a single variant keeps the
+			// caller's unit name unchanged.
+			ccfg = telemetrySub(cfg, fmt.Sprintf("v%d", i))
+		}
+		out[i] = RunFigure7(ccfg, fos[i], tierCfgs)
 	})
 	return out
 }

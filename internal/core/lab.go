@@ -10,6 +10,8 @@ import (
 	"webharmony/internal/harmony"
 	"webharmony/internal/monitor"
 	"webharmony/internal/param"
+	"webharmony/internal/simplex"
+	"webharmony/internal/telemetry"
 	"webharmony/internal/tpcw"
 	"webharmony/internal/websim"
 )
@@ -42,6 +44,39 @@ type LabConfig struct {
 	// Results are bit-for-bit identical at every worker count: each unit
 	// builds its own lab from this configuration's seed.
 	Workers int
+
+	// Telemetry, when non-nil, collects a tuner step trace and a per-tier
+	// metrics timeseries from every lab built from this configuration.
+	// Each lab registers a recorder under (TelemetryReplicate,
+	// TelemetryUnit); the experiment runners extend TelemetryUnit so
+	// every lab they build gets a distinct name, and core.Replicate sets
+	// TelemetryReplicate to the replicate index. The fields are excluded
+	// from JSON exports and from the determinism contract's inputs: an
+	// instrumented run measures exactly what a bare run measures.
+	Telemetry          *telemetry.Collector `json:"-"`
+	TelemetryUnit      string               `json:"-"`
+	TelemetryReplicate int                  `json:"-"`
+}
+
+// WithTelemetryUnit returns a copy of the configuration whose telemetry
+// unit path is extended by seg (runners further extend it per lab). No-op
+// when telemetry is disabled.
+func (c LabConfig) WithTelemetryUnit(seg string) LabConfig {
+	return telemetrySub(c, seg)
+}
+
+// telemetrySub appends seg to cfg's telemetry unit path, so every lab a
+// runner builds registers under a distinct recorder name.
+func telemetrySub(cfg LabConfig, seg string) LabConfig {
+	if cfg.Telemetry == nil {
+		return cfg
+	}
+	if cfg.TelemetryUnit == "" {
+		cfg.TelemetryUnit = seg
+	} else {
+		cfg.TelemetryUnit += "/" + seg
+	}
+	return cfg
 }
 
 // PaperLab returns the paper's timing on the 4-machine setup: 100/1000/100
@@ -99,6 +134,9 @@ type Lab struct {
 
 	lastReadings []monitor.Reading
 	iterations   int
+
+	rec     *telemetry.Recorder
+	sampler *telemetry.Sampler
 }
 
 // NewLab builds the simulated cluster and client population.
@@ -118,7 +156,69 @@ func NewLab(cfg LabConfig, w tpcw.Workload) *Lab {
 		Seed:      cfg.Seed ^ 0xeb,
 		Sessions:  cfg.Sessions,
 	})
-	return &Lab{Cfg: cfg, Sys: sys, Driver: d, Mon: monitor.New(sys.Cluster)}
+	lab := &Lab{Cfg: cfg, Sys: sys, Driver: d, Mon: monitor.New(sys.Cluster)}
+	if cfg.Telemetry != nil {
+		lab.rec = cfg.Telemetry.Recorder(cfg.TelemetryReplicate, cfg.TelemetryUnit)
+		// Two samples per iteration window, the cadence monitor.Timeline
+		// uses for the Figure 7 utilization narrative.
+		lab.sampler = telemetry.NewSampler(sys, lab.rec, (cfg.Warm+cfg.Measure+cfg.Cool)/2)
+		lab.sampler.Start()
+	}
+	return lab
+}
+
+// Recorder returns the lab's telemetry recorder; nil when telemetry is
+// disabled (a nil recorder still accepts appends as no-ops).
+func (l *Lab) Recorder() *telemetry.Recorder { return l.rec }
+
+// RecordEvent appends a trace event stamped with the current simulated
+// time; no-op when telemetry is disabled.
+func (l *Lab) RecordEvent(ev telemetry.Event) {
+	if l.rec == nil {
+		return
+	}
+	ev.T = l.Sys.Eng.Now()
+	l.rec.Event(ev)
+}
+
+// TraceObserve returns the observer factory that streams tuner steps into
+// the lab's telemetry recorder — assign it to harmony.Options.Observe
+// before building a strategy on this lab. It returns nil (tracing
+// disabled) when the lab has no recorder.
+func (l *Lab) TraceObserve() func(label string, space *param.Space) simplex.StepObserver {
+	if l.rec == nil {
+		return nil
+	}
+	return func(label string, space *param.Space) simplex.StepObserver {
+		return func(st simplex.Step) {
+			ev := telemetry.Event{
+				Session: label,
+				T:       l.Sys.Eng.Now(),
+				Iter:    st.Evaluations,
+				Kind:    "step",
+				Move:    st.Move,
+				Cost:    st.Cost,
+				Best:    st.BestCost,
+			}
+			if st.Move == "reset" || st.Move == "shift-restart" {
+				ev.Kind = "restart"
+			}
+			if st.Config != nil {
+				ev.Config = st.Config.Map(space)
+			}
+			l.rec.Event(ev)
+		}
+	}
+}
+
+// withTrace returns opts with the lab's trace-observer factory attached,
+// unless the caller already supplied an observer of its own. No-op when
+// the lab has no telemetry.
+func withTrace(opts harmony.Options, lab *Lab) harmony.Options {
+	if opts.Observe == nil && opts.Observer == nil {
+		opts.Observe = lab.TraceObserve()
+	}
+	return opts
 }
 
 // Tiers implements harmony.Target.

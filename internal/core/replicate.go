@@ -26,6 +26,7 @@ func Replicate[T any](cfg LabConfig, R int, unit func(cfg LabConfig, r int) T) [
 	ForEach(cfg.Workers, R, func(r int) {
 		rcfg := cfg
 		rcfg.Seed = rng.TaskSeed(cfg.Seed, uint64(r))
+		rcfg.TelemetryReplicate = r
 		out[r] = unit(rcfg, r)
 	})
 	return out

@@ -117,6 +117,7 @@ func RunSweep(cfg LabConfig, w tpcw.Workload, axes []SweepAxis, R, iters int) *S
 		combo, r := k/R, k%R
 		ccfg := cfg
 		ccfg.Seed = rng.TaskSeed(cfg.Seed, uint64(r))
+		ccfg.TelemetryReplicate = r
 		values := make([]string, len(axes))
 		// Decode the combination index digit by digit, last axis fastest.
 		c := combo
@@ -126,6 +127,7 @@ func RunSweep(cfg LabConfig, w tpcw.Workload, axes []SweepAxis, R, iters int) *S
 			axes[j].Apply(&ccfg, i)
 			values[j] = axes[j].Labels[i]
 		}
+		ccfg = telemetrySub(ccfg, comboName(axes, values))
 		lab := NewLab(ccfg, w)
 		series := lab.MeasureConfig(DefaultConfigs(), iters)
 		sum := 0.0
@@ -135,6 +137,17 @@ func RunSweep(cfg LabConfig, w tpcw.Workload, axes []SweepAxis, R, iters int) *S
 		res.Rows[k] = SweepRow{Values: values, Replicate: r, WIPS: sum / float64(iters)}
 	})
 	return res
+}
+
+// comboName renders one grid point as a telemetry unit segment,
+// "axis=label" pairs joined with ";" — commas would break the metrics CSV,
+// whose unit column is unquoted.
+func comboName(axes []SweepAxis, values []string) string {
+	parts := make([]string, len(axes))
+	for j, ax := range axes {
+		parts[j] = ax.Name + "=" + values[j]
+	}
+	return strings.Join(parts, ";")
 }
 
 // ParseSweepSpec parses a compact sweep-grid description into axes. The

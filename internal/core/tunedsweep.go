@@ -94,6 +94,7 @@ func RunTunedSweep(cfg LabConfig, w tpcw.Workload, axes []SweepAxis, R, iters, t
 		combo, r := k/R, k%R
 		ccfg := cfg
 		ccfg.Seed = rng.TaskSeed(cfg.Seed, uint64(r))
+		ccfg.TelemetryReplicate = r
 		values := make([]string, len(axes))
 		// Decode the combination index digit by digit, last axis fastest.
 		c := combo
@@ -105,13 +106,14 @@ func RunTunedSweep(cfg LabConfig, w tpcw.Workload, axes []SweepAxis, R, iters, t
 		}
 		ropts := opts
 		ropts.Seed = ReplicateSeed(opts.Seed, r)
+		ccfg = telemetrySub(ccfg, comboName(axes, values))
 		// TuneWorkload measures the default configuration (the baseline
 		// arm, identical to RunSweep's procedure) and runs the tuning
 		// session; the best configuration is then evaluated on a fresh
 		// lab under the same seed so both arms see the same randomness.
 		run := TuneWorkload(ccfg, w, tuneIters, iters, ropts)
 		def := stats.MeanOf(run.Baseline)
-		eval := NewLab(ccfg, w)
+		eval := NewLab(telemetrySub(ccfg, "eval"), w)
 		tuned := stats.MeanOf(eval.MeasureConfig(run.BestConfigs, iters))
 		res.Rows[k] = TunedSweepRow{
 			Values:      values,

@@ -212,6 +212,12 @@ func (s *Server) Stats() Stats { return s.stats }
 // ResetStats zeroes the activity counters.
 func (s *Server) ResetStats() { s.stats = Stats{} }
 
+// PoolOccupancy returns the connection pool's in-use, waiting and capacity
+// counts, for diagnostics and the telemetry sampler.
+func (s *Server) PoolOccupancy() (inUse, waiting, capacity int) {
+	return s.conns.InUse(), s.conns.Waiting(), s.conns.Capacity()
+}
+
 // netEfficiency returns the result-transfer CPU multiplier for the
 // configured net buffer (small buffers mean more packets and syscalls).
 func (s *Server) netEfficiency() float64 {

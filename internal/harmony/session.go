@@ -66,6 +66,20 @@ type Options struct {
 	// current best configuration (Figure 5 responsiveness). 0 disables.
 	ShiftFactor   float64
 	ShiftPatience int
+
+	// Observer, when non-nil, receives one simplex.Step per completed
+	// tuning step of the session's kernel, plus a "shift-restart" step
+	// when shift detection fires. It runs synchronously on the tuning
+	// path and must be cheap; nil disables tracing. Not persisted by
+	// Save/Restore.
+	Observer simplex.StepObserver `json:"-"`
+
+	// Observe, when non-nil, derives a per-session Observer inside the
+	// cluster strategies: it is called once per session with the
+	// session's label ("all" for the default method, the tier name under
+	// duplication, "lineN" under partitioning) and parameter space.
+	// Ignored when Observer is set directly.
+	Observe func(label string, space *param.Space) simplex.StepObserver `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +119,13 @@ func NewSession(space *param.Space, opts Options) *Session {
 	opts = opts.withDefaults()
 	s := &Session{space: space, opts: opts}
 	s.tuner = s.newTuner()
+	if opts.Observer != nil {
+		// Attach before the anchored Reset below so the trace records
+		// where the search started.
+		if o, ok := s.tuner.(simplex.Observable); ok {
+			o.SetObserver(opts.Observer)
+		}
+	}
 	if opts.Anchor != nil {
 		anchor := opts.Anchor.Clone()
 		space.Clamp(anchor)
@@ -182,6 +203,15 @@ func (s *Session) maybeDetectShift(perf float64) {
 		s.shiftStreak = 0
 	}
 	if s.shiftStreak >= s.opts.ShiftPatience {
+		if s.opts.Observer != nil {
+			// Record why the search is about to re-anchor: the tuner's
+			// own Reset step follows with the new anchor.
+			s.opts.Observer(simplex.Step{
+				Move: "shift-restart",
+				Cost: -perf, BestCost: -s.bestPerf,
+				Evaluations: s.tuner.Evaluations(),
+			})
+		}
 		s.Restart()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"webharmony/internal/param"
+	"webharmony/internal/simplex"
 )
 
 // TierSpec describes one tier of the tunable system as a strategy sees it.
@@ -123,6 +124,15 @@ func (s *Strategy) sessionOpts(i int) Options {
 	return o
 }
 
+// observerFor resolves the observer a session labeled label over space
+// should use: a directly-set Observer wins, otherwise Observe derives one.
+func (s *Strategy) observerFor(label string, space *param.Space) simplex.StepObserver {
+	if s.opts.Observer != nil || s.opts.Observe == nil {
+		return s.opts.Observer
+	}
+	return s.opts.Observe(label, space)
+}
+
 // initDefault builds one session over the concatenation of every node's
 // space.
 func (s *Strategy) initDefault() {
@@ -141,6 +151,7 @@ func (s *Strategy) initDefault() {
 	}
 	opts := s.sessionOpts(0)
 	opts.Anchor = concatAnchor(s.target, m)
+	opts.Observer = s.observerFor("all", all)
 	s.sessions = []*Session{NewSession(all, opts)}
 	s.maps = []sessionMap{m}
 }
@@ -169,6 +180,7 @@ func (s *Strategy) initDuplication() {
 		if len(t.Nodes) > 0 {
 			opts.Anchor = s.target.NodeConfig(t.Nodes[0])
 		}
+		opts.Observer = s.observerFor(t.Name, t.Space)
 		s.sessions = append(s.sessions, NewSession(t.Space, opts))
 		s.maps = append(s.maps, sessionMap{nodes: t.Nodes})
 	}
@@ -201,6 +213,7 @@ func (s *Strategy) initPartitioning() {
 		}
 		opts := s.sessionOpts(l)
 		opts.Anchor = concatAnchor(s.target, m)
+		opts.Observer = s.observerFor(fmt.Sprintf("line%d", l), lineSpace)
 		s.sessions = append(s.sessions, NewSession(lineSpace, opts))
 		s.maps = append(s.maps, m)
 	}

@@ -1,0 +1,94 @@
+package hproto
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// serverStats holds one server's runtime counters. The expvar.Int values
+// give atomic increments and consistent JSON rendering, but they are NOT
+// registered in the process-global expvar namespace — registration there
+// panics on duplicate names, and tests (or one process hosting several
+// tuning servers) create many servers. DebugHandler exposes them instead.
+type serverStats struct {
+	sessionsCreated expvar.Int // sessions ever registered or restored
+	asks            expvar.Int // next-configuration requests served
+	tells           expvar.Int // performance reports accepted
+	frames          expvar.Int // protocol frames decoded off the wire
+	conns           expvar.Int // connections ever accepted
+	connsOpen       expvar.Int // connections currently being served
+}
+
+// state returns the server's lifecycle phase for /debug/vars.
+func (s *Server) state() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "closed"
+	}
+	if s.draining {
+		return "draining"
+	}
+	return "running"
+}
+
+// setDraining flags a drain in progress; a no-op once the server closed.
+func (s *Server) setDraining(v bool) {
+	s.mu.Lock()
+	if !s.closed {
+		s.draining = v
+	}
+	s.mu.Unlock()
+}
+
+// liveSessions returns the number of currently registered sessions.
+func (s *Server) liveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// DebugHandler returns the server's runtime-introspection endpoints:
+// /debug/vars with the protocol counters as expvar-style JSON, and the
+// net/http/pprof profiling pages under /debug/pprof/. Serve it on a side
+// listener (harmonyd -debug-addr); it is deliberately not merged into the
+// tuning protocol port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		vars := map[string]string{
+			"sessions":         fmt.Sprintf("%d", s.liveSessions()),
+			"sessions_created": s.stats.sessionsCreated.String(),
+			"asks":             s.stats.asks.String(),
+			"tells":            s.stats.tells.String(),
+			"frames":           s.stats.frames.String(),
+			"conns":            s.stats.conns.String(),
+			"conns_open":       s.stats.connsOpen.String(),
+			"drain_state":      fmt.Sprintf("%q", s.state()),
+		}
+		keys := make([]string, 0, len(vars))
+		for k := range vars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		for i, k := range keys {
+			comma := ","
+			if i == len(keys)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(w, "%q: %s%s\n", k, vars[k], comma)
+		}
+		fmt.Fprintf(w, "}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

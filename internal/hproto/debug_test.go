@@ -1,0 +1,182 @@
+package hproto
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"webharmony/internal/param"
+)
+
+// debugVars fetches and decodes the /debug/vars document.
+func debugVars(t *testing.T, url string) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("bad /debug/vars JSON %q: %v", body, err)
+	}
+	return vars
+}
+
+func intVar(t *testing.T, vars map[string]json.RawMessage, key string) int {
+	t.Helper()
+	raw, ok := vars[key]
+	if !ok {
+		t.Fatalf("missing key %q in /debug/vars", key)
+	}
+	n, err := strconv.Atoi(string(raw))
+	if err != nil {
+		t.Fatalf("key %q = %s, want an integer", key, raw)
+	}
+	return n
+}
+
+func stringVar(t *testing.T, vars map[string]json.RawMessage, key string) string {
+	t.Helper()
+	var s string
+	if err := json.Unmarshal(vars[key], &s); err != nil {
+		t.Fatalf("key %q = %s, want a string", key, vars[key])
+	}
+	return s
+}
+
+// TestDebugHandlerCounters drives a scripted client session against the
+// tuning server and asserts the introspection counters advance with it.
+func TestDebugHandlerCounters(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	web := httptest.NewServer(srv.DebugHandler())
+	defer web.Close()
+
+	vars := debugVars(t, web.URL)
+	for _, key := range []string{"sessions", "sessions_created", "asks", "tells",
+		"frames", "conns", "conns_open", "drain_state"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("missing key %q in /debug/vars", key)
+		}
+	}
+	if got := stringVar(t, vars, "drain_state"); got != "running" {
+		t.Errorf("drain_state = %q, want \"running\"", got)
+	}
+	if got := intVar(t, vars, "sessions"); got != 0 {
+		t.Errorf("sessions = %d before any register, want 0", got)
+	}
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defs := []param.Def{{Name: "threads", Min: 1, Max: 64, Default: 8, Step: 1}}
+	if err := c.Register("web", defs, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		if _, _, err := c.Next("web"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Report("web", float64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vars = debugVars(t, web.URL)
+	if got := intVar(t, vars, "sessions"); got != 1 {
+		t.Errorf("sessions = %d, want 1", got)
+	}
+	if got := intVar(t, vars, "sessions_created"); got != 1 {
+		t.Errorf("sessions_created = %d, want 1", got)
+	}
+	if got := intVar(t, vars, "asks"); got != rounds {
+		t.Errorf("asks = %d, want %d", got, rounds)
+	}
+	if got := intVar(t, vars, "tells"); got != rounds {
+		t.Errorf("tells = %d, want %d", got, rounds)
+	}
+	// register + rounds x (next + report)
+	if got := intVar(t, vars, "frames"); got != 1+2*rounds {
+		t.Errorf("frames = %d, want %d", got, 1+2*rounds)
+	}
+	if got := intVar(t, vars, "conns"); got != 1 {
+		t.Errorf("conns = %d, want 1", got)
+	}
+	if got := intVar(t, vars, "conns_open"); got != 1 {
+		t.Errorf("conns_open = %d, want 1", got)
+	}
+}
+
+// TestDebugHandlerDrainState checks the lifecycle phases land in
+// /debug/vars: running -> closed via Close, with DrainClose reporting the
+// same terminal state.
+func TestDebugHandlerDrainState(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(srv.DebugHandler())
+	defer web.Close()
+
+	if got := stringVar(t, debugVars(t, web.URL), "drain_state"); got != "running" {
+		t.Fatalf("drain_state = %q, want \"running\"", got)
+	}
+	if err := srv.DrainClose(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := stringVar(t, debugVars(t, web.URL), "drain_state"); got != "closed" {
+		t.Errorf("drain_state after DrainClose = %q, want \"closed\"", got)
+	}
+}
+
+// TestTwoServersIndependentStats guards the design choice of per-server
+// (unregistered) expvar counters: two servers in one process must not
+// collide in a global namespace or share counts.
+func TestTwoServersIndependentStats(t *testing.T) {
+	a, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	webA := httptest.NewServer(a.DebugHandler())
+	defer webA.Close()
+	webB := httptest.NewServer(b.DebugHandler())
+	defer webB.Close()
+
+	c, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defs := []param.Def{{Name: "threads", Min: 1, Max: 64, Default: 8, Step: 1}}
+	if err := c.Register("only-on-a", defs, "", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := intVar(t, debugVars(t, webA.URL), "sessions_created"); got != 1 {
+		t.Errorf("server A sessions_created = %d, want 1", got)
+	}
+	if got := intVar(t, debugVars(t, webB.URL), "sessions_created"); got != 0 {
+		t.Errorf("server B sessions_created = %d, want 0", got)
+	}
+}

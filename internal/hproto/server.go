@@ -25,7 +25,10 @@ type Server struct {
 	sessions map[string]*sessionState
 	conns    map[net.Conn]struct{} // live accepted connections
 	closed   bool
+	draining bool // a DrainClose is in progress
 	wg       sync.WaitGroup
+
+	stats serverStats // runtime counters, exposed via DebugHandler
 }
 
 type sessionState struct {
@@ -75,6 +78,8 @@ func (s *Server) Close() error {
 // running it waits for that shutdown instead of starting another.
 func (s *Server) DrainClose(d time.Duration) error {
 	deadline := time.Now().Add(d)
+	s.setDraining(true)
+	defer s.setDraining(false)
 	return s.shutdown(func(c net.Conn) { _ = c.SetDeadline(deadline) })
 }
 
@@ -114,6 +119,8 @@ func (s *Server) track(conn net.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.stats.conns.Add(1)
+	s.stats.connsOpen.Add(1)
 	return true
 }
 
@@ -121,6 +128,7 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.stats.connsOpen.Add(-1)
 }
 
 func (s *Server) acceptLoop() {
@@ -156,6 +164,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		s.stats.frames.Add(1)
 		var resp Response
 		if req, err := DecodeRequest(line); err != nil {
 			resp = Errorf("bad request: %v", err)
@@ -236,6 +245,7 @@ func (s *Server) dispatch(req Request) Response {
 	case OpNext:
 		cfg := st.session.NextConfig()
 		st.pending = true
+		s.stats.asks.Add(1)
 		return Response{OK: true, Config: cfg, Values: cfg.Map(st.space)}
 	case OpReport:
 		if !st.pending {
@@ -243,6 +253,7 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		st.session.Report(req.Perf)
 		st.pending = false
+		s.stats.tells.Add(1)
 		return Response{OK: true, Iterations: st.session.Iterations()}
 	case OpBest:
 		cfg, perf, have := st.session.Best()
@@ -309,6 +320,7 @@ func (s *Server) register(req Request) Response {
 		return Errorf("register: session %q exists", req.Session)
 	}
 	s.sessions[req.Session] = &sessionState{space: space, session: sess}
+	s.stats.sessionsCreated.Add(1)
 	return Response{OK: true}
 }
 
@@ -338,6 +350,7 @@ func (s *Server) restore(req Request) Response {
 		return Errorf("restore: session %q exists", req.Session)
 	}
 	s.sessions[req.Session] = &sessionState{space: space, session: sess}
+	s.stats.sessionsCreated.Add(1)
 	return Response{OK: true, Iterations: sess.Iterations()}
 }
 

@@ -37,7 +37,12 @@ type SimulatedAnnealing struct {
 	// scale converts cost differences into acceptance probabilities; it
 	// adapts to the observed cost magnitudes.
 	scale float64
+
+	obs StepObserver
 }
+
+// SetObserver installs a step observer (nil detaches it).
+func (sa *SimulatedAnnealing) SetObserver(obs StepObserver) { sa.obs = obs }
 
 // AnnealingOptions configures a SimulatedAnnealing tuner. Zero fields take
 // defaults (initial temperature 0.25, cooling 0.97, minimum 0.01).
@@ -109,6 +114,14 @@ func (sa *SimulatedAnnealing) Tell(cost float64) {
 		sa.bestCost = cost
 		sa.haveBest = true
 	}
+	move := "anneal"
+	if sa.first {
+		move = "init"
+	}
+	emit(sa.obs, Step{
+		Move: move, Config: cfg,
+		Cost: cost, BestCost: sa.bestCost, Evaluations: sa.evals,
+	})
 	if sa.first {
 		sa.first = false
 		sa.currentCost = cost
@@ -150,6 +163,7 @@ func (sa *SimulatedAnnealing) Reset(around param.Config) {
 	sa.haveCurrent = false
 	sa.first = true
 	sa.temp = 0.25
+	emit(sa.obs, Step{Move: "reset", Config: anchor.Clone(), Evaluations: sa.evals})
 }
 
 // Converged reports whether the temperature has cooled to the point where

@@ -18,6 +18,9 @@ type RandomSearch struct {
 	haveBest bool
 	evals    int
 	first    bool
+
+	obs      StepObserver
+	lastMove string
 }
 
 // NewRandomSearch creates a random-search tuner; the first proposal is the
@@ -26,14 +29,19 @@ func NewRandomSearch(space *param.Space, seed uint64) *RandomSearch {
 	return &RandomSearch{space: space, src: rng.New(seed ^ 0xdecafbad), first: true}
 }
 
+// SetObserver installs a step observer (nil detaches it).
+func (r *RandomSearch) SetObserver(obs StepObserver) { r.obs = obs }
+
 // Ask returns the next configuration to evaluate.
 func (r *RandomSearch) Ask() param.Config {
 	if r.asked {
 		panic("simplex: Ask called twice without Tell")
 	}
 	r.asked = true
+	r.lastMove = "random"
 	if r.first {
 		r.first = false
+		r.lastMove = "init"
 		r.pending = r.space.DefaultConfig()
 		return r.pending.Clone()
 	}
@@ -57,6 +65,10 @@ func (r *RandomSearch) Tell(cost float64) {
 		r.bestCost = cost
 		r.haveBest = true
 	}
+	emit(r.obs, Step{
+		Move: r.lastMove, Config: r.pending,
+		Cost: cost, BestCost: r.bestCost, Evaluations: r.evals,
+	})
 }
 
 // Best returns the best configuration seen so far.
@@ -72,6 +84,7 @@ func (r *RandomSearch) Reset(around param.Config) {
 	r.asked = false
 	r.haveBest = false
 	r.first = true
+	emit(r.obs, Step{Move: "reset", Evaluations: r.evals})
 }
 
 // Converged always reports false: random search never stops proposing.
@@ -103,7 +116,13 @@ type CoordinateSearch struct {
 	haveBest bool
 	evals    int
 	phase    int // 0: evaluate current; 1: probing
+
+	obs      StepObserver
+	lastMove string
 }
+
+// SetObserver installs a step observer (nil detaches it).
+func (c *CoordinateSearch) SetObserver(obs StepObserver) { c.obs = obs }
 
 // NewCoordinateSearch creates a coordinate-descent tuner anchored at the
 // space default. initialStep is in unit-cube units (0 uses 0.25).
@@ -129,7 +148,9 @@ func (c *CoordinateSearch) Ask() param.Config {
 		panic("simplex: Ask called twice without Tell")
 	}
 	c.asked = true
+	c.lastMove = "probe"
 	if c.phase == 0 {
+		c.lastMove = "init"
 		c.pending = c.current.Clone()
 		return c.pending.Clone()
 	}
@@ -151,6 +172,10 @@ func (c *CoordinateSearch) Tell(cost float64) {
 		c.bestCost = cost
 		c.haveBest = true
 	}
+	emit(c.obs, Step{
+		Move: c.lastMove, Config: c.pending,
+		Cost: cost, BestCost: c.bestCost, Evaluations: c.evals,
+	})
 	if c.phase == 0 {
 		c.curCost = cost
 		c.haveCur = true
@@ -204,6 +229,7 @@ func (c *CoordinateSearch) Reset(around param.Config) {
 	for i := range c.step {
 		c.step[i] = 0.25
 	}
+	emit(c.obs, Step{Move: "reset", Config: c.current.Clone(), Evaluations: c.evals})
 }
 
 // Converged reports whether the probe step has collapsed below one lattice

@@ -1,0 +1,42 @@
+package simplex
+
+import "webharmony/internal/param"
+
+// Step is one completed tuner transition, delivered to a StepObserver.
+// Observers receive a Step per Tell (the evaluated proposal, its cost and
+// the best cost so far) and per Reset (Move "reset", no cost).
+type Step struct {
+	// Move names the transition that produced the evaluated proposal:
+	// "init", "reflect", "expand", "contract" and "shrink" for the simplex
+	// kernel; "anneal", "random" and "probe" for the baseline algorithms;
+	// "reset" when the search re-anchors without an evaluation.
+	Move string
+	// Config is the evaluated configuration ("reset" steps carry the
+	// anchor the search re-centered on). Observers must not modify it.
+	Config param.Config
+	// Cost is the reported cost (lower is better; callers maximizing
+	// throughput report the negated metric). Zero for "reset" steps.
+	Cost float64
+	// BestCost is the best cost seen since the last reset.
+	BestCost float64
+	// Evaluations counts completed Ask/Tell cycles, including this one.
+	Evaluations int
+}
+
+// StepObserver receives one callback per completed tuning step. Observers
+// run synchronously on the tuner's call path and must be cheap; a nil
+// observer disables tracing entirely (the tuners only pay a nil check).
+type StepObserver func(Step)
+
+// Observable is implemented by tuners that can report their steps.
+type Observable interface {
+	// SetObserver installs the observer (nil detaches it).
+	SetObserver(StepObserver)
+}
+
+// emit invokes the observer if one is attached.
+func emit(obs StepObserver, s Step) {
+	if obs != nil {
+		obs(s)
+	}
+}

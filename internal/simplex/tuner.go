@@ -116,7 +116,13 @@ type NelderMead struct {
 	haveBest      bool
 	evals         int
 	lastWasInside bool
+
+	obs      StepObserver
+	lastMove string // move kind of the outstanding Ask, reported at Tell
 }
+
+// SetObserver installs a step observer (nil detaches it).
+func (nm *NelderMead) SetObserver(obs StepObserver) { nm.obs = obs }
 
 // NewNelderMead creates a simplex tuner over the given space. The initial
 // simplex is anchored at the space's default configuration.
@@ -171,13 +177,20 @@ func (nm *NelderMead) Ask() param.Config {
 	}
 	nm.asked = true
 	switch nm.phase {
-	case phaseInit, phaseShrink:
+	case phaseInit:
+		nm.lastMove = "init"
+		nm.pending = nm.verts[nm.idx].u
+	case phaseShrink:
+		nm.lastMove = "shrink"
 		nm.pending = nm.verts[nm.idx].u
 	case phaseReflect:
+		nm.lastMove = "reflect"
 		nm.pending = nm.reflectPoint(nm.opts.Alpha)
 	case phaseExpand:
+		nm.lastMove = "expand"
 		nm.pending = nm.reflectPoint(nm.opts.Alpha * nm.opts.Gamma)
 	case phaseContract:
+		nm.lastMove = "contract"
 		if nm.lastWasInside {
 			nm.pending = nm.reflectPoint(-nm.opts.Rho)
 		} else {
@@ -228,6 +241,10 @@ func (nm *NelderMead) Tell(cost float64) {
 		nm.bestCost = cost
 		nm.haveBest = true
 	}
+	emit(nm.obs, Step{
+		Move: nm.lastMove, Config: cfg,
+		Cost: cost, BestCost: nm.bestCost, Evaluations: nm.evals,
+	})
 
 	switch nm.phase {
 	case phaseInit:
@@ -327,6 +344,7 @@ func (nm *NelderMead) Reset(around param.Config) {
 	}
 	nm.haveBest = false
 	nm.initSimplex(around)
+	emit(nm.obs, Step{Move: "reset", Config: around.Clone(), Evaluations: nm.evals})
 }
 
 // Converged reports whether every vertex of the simplex rounds to the same

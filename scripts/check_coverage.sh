@@ -4,8 +4,8 @@
 # Runs `go test -short -cover` over the module, optionally writing a
 # merged coverage profile to the given path, and fails if any package
 # listed in scripts/coverage_floors.txt reports statement coverage below
-# its floor. Packages without tests (cmd/harmonyd, cmd/tpcwgen, the
-# examples) are intentionally absent from the floors file.
+# its floor. Packages without tests (cmd/tpcwgen, the examples) are
+# intentionally absent from the floors file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -25,6 +25,7 @@ import (
 	"webharmony/internal/core"
 	"webharmony/internal/harmony"
 	"webharmony/internal/param"
+	"webharmony/internal/telemetry"
 	"webharmony/internal/tpcw"
 )
 
@@ -44,6 +45,21 @@ func Workloads() []Workload { return tpcw.Workloads() }
 // LabConfig describes an experimental setup: cluster shape, client load,
 // iteration windows.
 type LabConfig = core.LabConfig
+
+// TelemetryCollector gathers the deterministic tuner step trace and
+// per-tier metrics timeseries of a run. Assign one to LabConfig.Telemetry
+// (see WithTelemetryUnit for naming the experiment units), run experiments,
+// then WriteTrace/WriteMetrics the collected data.
+type TelemetryCollector = telemetry.Collector
+
+// TelemetryEvent is one trace record (a tuner step, restart or node move).
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySample is one per-tier metrics observation.
+type TelemetrySample = telemetry.Sample
+
+// NewTelemetryCollector creates an empty telemetry collector.
+func NewTelemetryCollector() *TelemetryCollector { return telemetry.NewCollector() }
 
 // PaperLab returns the paper's full-size setup (100/1000/100 s windows).
 func PaperLab() LabConfig { return core.PaperLab() }
