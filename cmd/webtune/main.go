@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tuned      = fs.Bool("tuned", false, "run a tuning session at every sweep grid point and report the paired default-vs-tuned gain (sweep experiment only)")
 		trace      = fs.String("trace", "", "write the tuner step trace (one JSON line per simplex move, restart or node move) to this file")
 		metrics    = fs.String("metrics", "", "write the per-tier metrics timeseries (utilization, queues, hit ratio, pools) as CSV to this file")
+		simprofile = fs.String("simprofile", "", "write the simnet event-loop profile as folded stacks (flamegraph.pl/speedscope input) to this file and print a rollup; byte-identical at any -workers")
 	)
 	usage := func() {
 		fmt.Fprintln(stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|sweep|all>")
@@ -133,8 +134,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		collector   *webharmony.TelemetryCollector
 		traceFile   *os.File
 		metricsFile *os.File
+		profFile    *os.File
 	)
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *simprofile != "" {
 		collector = webharmony.NewTelemetryCollector()
 		cfg.Telemetry = collector
 		if *trace != "" {
@@ -146,6 +148,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *metrics != "" {
 			if metricsFile, err = os.Create(*metrics); err != nil {
 				fmt.Fprintf(stderr, "webtune: -metrics: %v\n", err)
+				return 2
+			}
+		}
+		if *simprofile != "" {
+			cfg.SimProfile = true
+			if profFile, err = os.Create(*simprofile); err != nil {
+				fmt.Fprintf(stderr, "webtune: -simprofile: %v\n", err)
 				return 2
 			}
 		}
@@ -366,6 +375,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "webtune: -metrics: %v\n", err)
+			return 1
+		}
+	}
+	if profFile != nil {
+		err := collector.WriteSimProfile(profFile)
+		if cerr := profFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "webtune: -simprofile: %v\n", err)
+			return 1
+		}
+		if err := collector.WriteSimProfileRollup(stdout); err != nil {
+			fmt.Fprintf(stderr, "webtune: -simprofile: %v\n", err)
 			return 1
 		}
 	}

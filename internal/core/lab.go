@@ -10,6 +10,7 @@ import (
 	"webharmony/internal/harmony"
 	"webharmony/internal/monitor"
 	"webharmony/internal/param"
+	"webharmony/internal/simnet"
 	"webharmony/internal/simplex"
 	"webharmony/internal/telemetry"
 	"webharmony/internal/tpcw"
@@ -56,6 +57,13 @@ type LabConfig struct {
 	Telemetry          *telemetry.Collector `json:"-"`
 	TelemetryUnit      string               `json:"-"`
 	TelemetryReplicate int                  `json:"-"`
+
+	// SimProfile attaches the trace-driven event-loop profiler to every lab
+	// built from this configuration (requires Telemetry: profiles ride the
+	// recorder so the collector can merge them deterministically). Like
+	// telemetry, profiling never changes what a run measures — labels ride
+	// along with events without reordering anything or touching any RNG.
+	SimProfile bool `json:"-"`
 }
 
 // WithTelemetryUnit returns a copy of the configuration whose telemetry
@@ -163,6 +171,11 @@ func NewLab(cfg LabConfig, w tpcw.Workload) *Lab {
 		// uses for the Figure 7 utilization narrative.
 		lab.sampler = telemetry.NewSampler(sys, lab.rec, (cfg.Warm+cfg.Measure+cfg.Cool)/2)
 		lab.sampler.Start()
+		if cfg.SimProfile {
+			p := simnet.NewProfile()
+			sys.Eng.SetProfile(p)
+			lab.rec.AttachSimProfile(p)
+		}
 	}
 	return lab
 }

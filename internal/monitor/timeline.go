@@ -28,7 +28,7 @@ type Timeline struct {
 	interval float64
 	points   []TimelinePoint
 	snaps    map[int]cluster.UtilSnapshot
-	timer    *simnet.Timer
+	timer    simnet.Timer
 	running  bool
 }
 
@@ -85,9 +85,7 @@ func (t *Timeline) sample() {
 // Stop halts sampling; recorded points remain available.
 func (t *Timeline) Stop() {
 	t.running = false
-	if t.timer != nil {
-		t.timer.Cancel()
-	}
+	t.timer.Cancel()
 }
 
 // Points returns the recorded samples in time order.

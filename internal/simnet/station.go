@@ -20,11 +20,16 @@ type Station struct {
 	completed  uint64
 	arrived    uint64
 	queuedPeak int
+
+	// onEvict, when set, receives each queued job's completion callback if
+	// Reset clears a non-empty queue; see Reset.
+	onEvict func(done func())
 }
 
 type stationJob struct {
 	demand float64
 	done   func()
+	label  string // attribution stack captured at Submit (profiling runs)
 }
 
 // NewStation creates a station with the given number of parallel servers.
@@ -71,28 +76,36 @@ func (s *Station) Submit(demand float64, done func()) {
 		demand = 0
 	}
 	s.arrived++
+	// The service completion is attributed to the context that submitted
+	// the job (stack extended by "station/svc"), not to whichever event
+	// later pops it off the queue.
+	var label string
+	if s.eng.prof != nil {
+		label = appendFrame(s.eng.ctx, s.name+"/svc")
+	}
 	if s.busy < s.servers {
-		s.start(demand, done)
+		s.start(demand, done, label)
 		return
 	}
-	s.queue = append(s.queue, stationJob{demand: demand, done: done})
+	s.queue = append(s.queue, stationJob{demand: demand, done: done, label: label})
 	if len(s.queue) > s.queuedPeak {
 		s.queuedPeak = len(s.queue)
 	}
 }
 
-func (s *Station) start(demand float64, done func()) {
+func (s *Station) start(demand float64, done func(), label string) {
 	s.stamp()
 	s.busy++
-	s.eng.Schedule(demand/s.speed, func() {
+	s.eng.scheduleLabeled(demand/s.speed, label, func() {
 		s.stamp()
 		s.busy--
 		s.completed++
 		if len(s.queue) > 0 {
 			next := s.queue[0]
 			copy(s.queue, s.queue[1:])
+			s.queue[len(s.queue)-1] = stationJob{} // release the closure
 			s.queue = s.queue[:len(s.queue)-1]
-			s.start(next.demand, next.done)
+			s.start(next.demand, next.done, next.label)
 		}
 		if done != nil {
 			done()
@@ -135,14 +148,38 @@ func (s *Station) Utilization(busyAtFrom, fromTime float64) float64 {
 	return u
 }
 
+// SetOnEvict installs the handler Reset hands queued jobs to. The handler
+// receives each evicted job's completion callback and must settle whatever
+// resources the job's submitter holds (release pool tokens, fail the
+// request, or — if completion semantics are acceptable — invoke done).
+func (s *Station) SetOnEvict(h func(done func())) { s.onEvict = h }
+
 // Reset clears counters and the queue (jobs in service still complete).
 // Used between measurement iterations when servers are "restarted".
+//
+// A queued job's done callback closes over upstream state — typically
+// TokenPool tokens the request holds while it waits — so silently dropping
+// the queue leaks that state across iterations. Reset therefore drains a
+// non-empty queue through the SetOnEvict handler; without one it panics,
+// asserting the invariant every current caller relies on (reset only after
+// the queue has drained).
 func (s *Station) Reset() {
 	s.stamp()
 	s.busyTime = 0
 	s.completed = 0
 	s.arrived = 0
 	s.queuedPeak = 0
+	if len(s.queue) > 0 {
+		if s.onEvict == nil {
+			panic("simnet: Reset would drop " + s.name +
+				"'s queued jobs (and leak what their callbacks hold); drain first or SetOnEvict")
+		}
+		q := s.queue
+		s.queue = nil
+		for _, j := range q {
+			s.onEvict(j.done)
+		}
+	}
 	s.queue = nil
 }
 
@@ -157,10 +194,19 @@ type TokenPool struct {
 	maxWait  int // -1 means unbounded
 
 	inUse    int
-	waiters  []func()
+	waiters  []waiter
 	granted  uint64
 	rejected uint64
 	waitPeak int
+	granting bool // grantWaiters is draining; re-entrant calls return
+}
+
+// waiter is one queued Acquire: its grant callback plus the attribution
+// stack captured when the request started waiting, so the eventual grant
+// is charged to the acquirer, not to whichever event released the token.
+type waiter struct {
+	fn  func()
+	ctx string
 }
 
 // NewTokenPool creates a pool of capacity tokens whose wait queue holds at
@@ -192,12 +238,18 @@ func (p *TokenPool) Resize(capacity int) {
 // Requests already waiting are not evicted.
 func (p *TokenPool) SetMaxWait(maxWait int) { p.maxWait = maxWait }
 
-// Acquire requests a token. If one is free, onGrant runs immediately
-// (synchronously). If the wait queue has room, the request waits FIFO and
-// onGrant runs when a token frees up. Otherwise onReject (if non-nil) runs
-// immediately and the request counts as rejected.
+// Acquire requests a token. If one is free and nobody is queued ahead,
+// onGrant runs immediately (synchronously). If the wait queue has room,
+// the request waits FIFO and onGrant runs when a token frees up. Otherwise
+// onReject (if non-nil) runs immediately and the request counts as
+// rejected.
+//
+// The len(p.waiters) == 0 guard matters only while grantWaiters is
+// dispatching: there a token can be momentarily free while earlier
+// requests are still queued, and an Acquire from inside a grant callback
+// must queue behind them rather than barge past the FIFO order.
 func (p *TokenPool) Acquire(onGrant func(), onReject func()) {
-	if p.inUse < p.capacity {
+	if p.inUse < p.capacity && len(p.waiters) == 0 {
 		p.inUse++
 		p.granted++
 		onGrant()
@@ -210,7 +262,11 @@ func (p *TokenPool) Acquire(onGrant func(), onReject func()) {
 		}
 		return
 	}
-	p.waiters = append(p.waiters, onGrant)
+	w := waiter{fn: onGrant}
+	if p.eng.prof != nil {
+		w.ctx = appendFrame(p.eng.ctx, p.name+"/grant")
+	}
+	p.waiters = append(p.waiters, w)
 	if len(p.waiters) > p.waitPeak {
 		p.waitPeak = len(p.waiters)
 	}
@@ -225,15 +281,34 @@ func (p *TokenPool) Release() {
 	p.grantWaiters()
 }
 
+// grantWaiters grants tokens to queued waiters in FIFO order. Grant
+// callbacks run synchronously and may re-enter the pool (Acquire, Release,
+// Resize); the granting flag turns a re-entrant call into a no-op — the
+// outermost loop re-checks capacity after every callback and keeps
+// draining — so the queue is never shifted underneath an active copy and
+// recursion depth stays bounded no matter how grants chain.
 func (p *TokenPool) grantWaiters() {
+	if p.granting {
+		return
+	}
+	p.granting = true
 	for p.inUse < p.capacity && len(p.waiters) > 0 {
-		onGrant := p.waiters[0]
+		w := p.waiters[0]
 		copy(p.waiters, p.waiters[1:])
+		p.waiters[len(p.waiters)-1] = waiter{} // release the closure
 		p.waiters = p.waiters[:len(p.waiters)-1]
 		p.inUse++
 		p.granted++
-		onGrant()
+		if e := p.eng; e.prof != nil {
+			saved := e.ctx
+			e.ctx = w.ctx
+			w.fn()
+			e.ctx = saved
+		} else {
+			w.fn()
+		}
 	}
+	p.granting = false
 }
 
 // InUse returns the number of tokens currently held.

@@ -24,7 +24,7 @@ type Sampler struct {
 
 	snaps   map[int]cluster.UtilSnapshot
 	prev    map[int]proxyCounters // per-node cache counters at the last sample
-	timer   *simnet.Timer
+	timer   simnet.Timer
 	running bool
 }
 
@@ -62,12 +62,13 @@ func (s *Sampler) Start() {
 // Stop halts sampling; recorded samples remain in the recorder.
 func (s *Sampler) Stop() {
 	s.running = false
-	if s.timer != nil {
-		s.timer.Cancel()
-	}
+	s.timer.Cancel()
 }
 
 func (s *Sampler) schedule() {
+	// Sampling events belong to the telemetry layer, not to whatever
+	// request context happened to be live when the previous tick fired.
+	f := s.sys.Eng.EnterRoot("telemetry/sample")
 	s.timer = s.sys.Eng.Schedule(s.interval, func() {
 		if !s.running {
 			return
@@ -75,6 +76,7 @@ func (s *Sampler) schedule() {
 		s.sample()
 		s.schedule()
 	})
+	f.Exit()
 }
 
 func (s *Sampler) sample() {

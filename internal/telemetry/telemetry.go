@@ -22,6 +22,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"webharmony/internal/simnet"
 )
 
 // Event is one trace record: a tuner step, a reconfiguration move or a
@@ -70,6 +72,7 @@ type Recorder struct {
 	unit      string
 	events    []Event
 	samples   []Sample
+	simProf   *simnet.Profile
 }
 
 // Event appends a trace event, stamping the recorder's replicate and unit.
@@ -106,6 +109,24 @@ func (r *Recorder) Samples() []Sample {
 		return nil
 	}
 	return r.samples
+}
+
+// AttachSimProfile associates the unit's event-loop profile with the
+// recorder so the collector can merge profiles across units in the same
+// fixed (replicate, unit) order it uses for traces and metrics.
+func (r *Recorder) AttachSimProfile(p *simnet.Profile) {
+	if r == nil {
+		return
+	}
+	r.simProf = p
+}
+
+// SimProfile returns the attached event-loop profile, if any.
+func (r *Recorder) SimProfile() *simnet.Profile {
+	if r == nil {
+		return nil
+	}
+	return r.simProf
 }
 
 type recorderKey struct {
@@ -209,10 +230,34 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 	return bw.Flush()
 }
 
+// MergedSimProfile merges every recorder's event-loop profile into one,
+// in (replicate, unit) order. Per-stack weights are float sums, so the
+// fixed merge order is what makes the merged profile — and everything
+// written from it — byte-identical at any worker count. Returns an empty
+// profile if no recorder attached one.
+func (c *Collector) MergedSimProfile() *simnet.Profile {
+	merged := simnet.NewProfile()
+	for _, r := range c.sorted() {
+		merged.Merge(r.simProf)
+	}
+	return merged
+}
+
+// WriteSimProfile writes the merged event-loop profile in folded-stack
+// format (flamegraph.pl / speedscope input).
+func (c *Collector) WriteSimProfile(w io.Writer) error {
+	return c.MergedSimProfile().WriteFolded(w)
+}
+
+// WriteSimProfileRollup writes the merged profile's human-readable rollup.
+func (c *Collector) WriteSimProfileRollup(w io.Writer) error {
+	return c.MergedSimProfile().WriteRollup(w)
+}
+
 // Empty reports whether the collector recorded nothing at all.
 func (c *Collector) Empty() bool {
 	for _, r := range c.sorted() {
-		if len(r.events) > 0 || len(r.samples) > 0 {
+		if len(r.events) > 0 || len(r.samples) > 0 || !r.simProf.Empty() {
 			return false
 		}
 	}

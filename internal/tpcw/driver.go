@@ -113,6 +113,8 @@ func (d *Driver) Start() {
 		return
 	}
 	d.running = true
+	f := d.eng.EnterRoot("browser/think")
+	defer f.Exit()
 	for i := 0; i < d.opts.Browsers; i++ {
 		i := i
 		d.eng.Schedule(d.think[i].Uniform(0, d.opts.ThinkMean), func() { d.browse(i) })
@@ -163,7 +165,11 @@ func (d *Driver) browse(eb int) {
 		} else {
 			d.ctr.Errors++
 		}
-		// Think, then issue the next interaction.
+		// Think, then issue the next interaction. The think timer starts a
+		// new logical unit of work: without the root reset, each browser's
+		// attribution stack would thread through every page it ever loaded.
+		f := d.eng.EnterRoot("browser/think")
+		defer f.Exit()
 		d.eng.Schedule(d.think[eb].Exp(d.opts.ThinkMean), func() { d.browse(eb) })
 	})
 }

@@ -14,6 +14,7 @@ package websim
 
 import (
 	"fmt"
+	"strings"
 
 	"webharmony/internal/appserver"
 	"webharmony/internal/cluster"
@@ -365,10 +366,35 @@ func (s *System) pickDB(eb int) *db.Server {
 	return s.dbs[n.ID()]
 }
 
+// pageFrames precomputes the "page/<interaction>" attribution frame for
+// every TPC-W interaction. Interaction names contain spaces ("New
+// Products"); folded-stack frames cannot (space separates stack from
+// weight), so names are lowercased and dashed.
+var pageFrames = func() [tpcw.NumInteractions]string {
+	var out [tpcw.NumInteractions]string
+	for i := range out {
+		name := strings.ToLower(tpcw.Interaction(i).String())
+		out[i] = "page/" + strings.ReplaceAll(name, " ", "-")
+	}
+	return out
+}()
+
+// pageFrame returns the attribution root frame for an interaction.
+func pageFrame(i tpcw.Interaction) string {
+	if i < 0 || int(i) >= tpcw.NumInteractions {
+		return "page/unknown"
+	}
+	return pageFrames[i]
+}
+
 // Request implements tpcw.Site: it serves the page HTML and then all
 // embedded images through the tier pipeline. The page succeeds only if
 // every component succeeds.
 func (s *System) Request(pr tpcw.PageRequest, done func(ok bool)) {
+	// Every event this page schedules — across all tiers and queues — is
+	// attributed under its interaction class.
+	f := s.Eng.EnterRoot(pageFrame(pr.Interaction))
+	defer f.Exit()
 	s.serveHTML(pr, func(htmlOK bool) {
 		if len(pr.Images) == 0 {
 			s.finishPage(pr, htmlOK, done)
@@ -416,7 +442,11 @@ func (s *System) serveHTML(pr tpcw.PageRequest, done func(ok bool)) {
 		return
 	}
 	// The proxy relays the request and the generated response.
+	f := s.Eng.Enter("tier/proxy")
+	defer f.Exit()
 	s.proxyCPU(p, 0, pr.HTML.Size, func() {
+		xf := s.Eng.Enter("xfer")
+		defer xf.Exit()
 		s.Eng.Schedule(interTierLatency, func() {
 			s.appGenerate(pr, func(ok bool) {
 				if !ok {
@@ -452,7 +482,11 @@ func (s *System) appGenerate(pr tpcw.PageRequest, done func(ok bool)) {
 			case tpcw.DBWrite:
 				kind = db.QueryWrite
 			}
+			xf := s.Eng.Enter("xfer")
+			defer xf.Exit()
 			s.Eng.Schedule(interTierLatency, func() {
+				df := s.Eng.Enter("tier/db")
+				defer df.Exit()
 				d.Query(kind, pr.Profile.DBResultKB<<10, func(ok bool) {
 					// External services (the TPC-W payment gateway on Buy
 					// Confirm) run after the transaction, while the
@@ -467,6 +501,8 @@ func (s *System) appGenerate(pr tpcw.PageRequest, done func(ok bool)) {
 	if pr.Profile.DB == tpcw.DBWrite {
 		extra = txnPageExtraCPU
 	}
+	af := s.Eng.Enter("tier/app")
+	defer af.Exit()
 	a.Serve(pr.HTML.Size, extra, backend, done)
 }
 
@@ -478,6 +514,8 @@ func (s *System) serveObject(o webobj.Object, eb int, done func(ok bool)) {
 		done(false)
 		return
 	}
+	f := s.Eng.Enter("tier/proxy")
+	defer f.Exit()
 	res, scan := p.cache.Lookup(o)
 	switch res {
 	case proxy.HitMem:
@@ -501,12 +539,16 @@ func (s *System) serveObject(o webobj.Object, eb int, done func(ok bool)) {
 		})
 	default: // Miss: fetch from the origin (application tier), then admit.
 		s.proxyCPU(p, scan, o.Size, func() {
+			xf := s.Eng.Enter("xfer")
+			defer xf.Exit()
 			s.Eng.Schedule(interTierLatency, func() {
 				a := s.pickApp(eb)
 				if a == nil {
 					done(false)
 					return
 				}
+				af := s.Eng.Enter("tier/app")
+				defer af.Exit()
 				a.Serve(o.Size, 0, nil, func(ok bool) {
 					if !ok {
 						done(false)
