@@ -147,6 +147,31 @@ func BenchmarkFigure5Responsiveness(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure5Speculative measures the wall-clock effect of the
+// speculative lookahead engine on the responsiveness run: candidate
+// evaluations fan out over forked labs while commits stay in proposal
+// order, so the result is bit-for-bit identical at every worker count
+// (see TestFigure5SpeculativeMatchesSequential). Short phases and a
+// sensitive shift factor keep the tell-independent fraction high — every
+// shift restart re-opens a full initial-simplex batch of 8–10 concurrent
+// candidates — so workers=4 should be ≥1.5× faster than workers=1 on a
+// 4-core machine (like BenchmarkFigure4ParallelSpeedup, the gain needs
+// real cores; the committed results are identical regardless).
+func BenchmarkFigure5Speculative(b *testing.B) {
+	seq := []Workload{Browsing, Shopping, Ordering}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchLab()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res := RunFigure5(cfg, seq, 10, 4,
+					harmony.Options{Seed: 5, ShiftFactor: 0.05})
+				b.ReportMetric(float64(res.Restarts), "restarts")
+			}
+		})
+	}
+}
+
 // --- Table 4: cluster tuning methods -----------------------------------------
 
 // BenchmarkTable4ClusterTuning reproduces the Table 4 method comparison on

@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replicates = fs.Int("replicates", 1, "independent replicates for table4/adaptive/figure4/figure7a/figure7b/sweep; seeds derive per replicate, results report mean ± σ ± 95% CI")
 		sweepSpec  = fs.String("sweep", "", `sweep grid for the sweep experiment, e.g. "browsers=400,550;think=0.3,0.6;shape=1/1/1,2/2/2"`)
 		tuned      = fs.Bool("tuned", false, "run a tuning session at every sweep grid point and report the paired default-vs-tuned gain (sweep experiment only)")
+		shift      = fs.Float64("shift", 0.25, "figure5 workload-shift detection factor: sustained relative deviation from the remembered best that restarts the search (0 disables detection)")
 		trace      = fs.String("trace", "", "write the tuner step trace (one JSON line per simplex move, restart or node move) to this file")
 		metrics    = fs.String("metrics", "", "write the per-tier metrics timeseries (utilization, queues, hit ratio, pools) as CSV to this file")
 		simprofile = fs.String("simprofile", "", "write the simnet event-loop profile as folded stacks (flamegraph.pl/speedscope input) to this file and print a rollup; byte-identical at any -workers")
@@ -220,7 +221,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seq := []webharmony.Workload{webharmony.Browsing, webharmony.Shopping, webharmony.Ordering}
 		phase := max(10, n/4)
 		shiftOpts := opts
-		shiftOpts.ShiftFactor = 0.25
+		shiftOpts.ShiftFactor = *shift
 		res := webharmony.RunFigure5(cfg.WithTelemetryUnit("figure5"), seq, phase, 4, shiftOpts)
 		webharmony.PrintFigure5(stdout, res)
 		export(*outDir, stderr, "figure5", res, func(w io.Writer) error {

@@ -134,7 +134,9 @@ type Figure5Result struct {
 	WIPS     []float64       // per iteration
 	Workload []tpcw.Workload // active workload per iteration
 	Switches []int           // iteration indices (0-based) where the workload changed
-	Recovery []int           // iterations needed to re-reach the phase's steady band
+	// Recovery holds, per switch, the iterations needed to re-reach the
+	// phase's 90% steady band; RecoveryNone when it never did.
+	Recovery []int
 	PhaseLen int
 	Restarts int // tuning-session restarts triggered by shift detection
 }
@@ -142,42 +144,15 @@ type Figure5Result struct {
 // RunFigure5 runs tuning under a workload that changes every phaseLen
 // iterations, following seq (cycled). Shift detection should be enabled in
 // opts for the paper's responsiveness behaviour.
+//
+// Candidate evaluation fans out over cfg.Workers via speculative
+// lookahead (see runFigure5): the tuners' tell-independent proposals are
+// measured concurrently in forked labs and committed in proposal order,
+// with speculation past any shift-detection restart discarded. The
+// output — WIPS series, Recovery, Restarts, telemetry traces/metrics and
+// simprofile stacks — is bit-for-bit identical at every worker count.
 func RunFigure5(cfg LabConfig, seq []tpcw.Workload, phaseLen, phases int, opts harmony.Options) *Figure5Result {
-	if len(seq) == 0 || phaseLen <= 0 || phases <= 0 {
-		panic("core: bad Figure 5 arguments")
-	}
-	lab := NewLab(cfg, seq[0])
-	st := harmony.NewStrategy(harmony.StrategyDuplication, lab, 0, withTrace(opts, lab))
-	res := &Figure5Result{PhaseLen: phaseLen}
-	for p := 0; p < phases; p++ {
-		w := seq[p%len(seq)]
-		if p > 0 {
-			lab.Driver.SetWorkload(w)
-			res.Switches = append(res.Switches, p*phaseLen)
-		}
-		for i := 0; i < phaseLen; i++ {
-			wips := st.Step()
-			res.WIPS = append(res.WIPS, wips)
-			res.Workload = append(res.Workload, w)
-		}
-	}
-	for _, sess := range st.Sessions() {
-		res.Restarts += sess.Resets()
-	}
-	// Recovery: iterations from each switch until WIPS first reaches 90%
-	// of the phase's steady level (mean of the phase's second half).
-	for _, sw := range res.Switches {
-		phase := res.WIPS[sw:min(sw+phaseLen, len(res.WIPS))]
-		steady := stats.MeanOf(phase[len(phase)/2:])
-		rec := len(phase)
-		for i, v := range phase {
-			if v >= 0.9*steady {
-				rec = i + 1
-				break
-			}
-		}
-		res.Recovery = append(res.Recovery, rec)
-	}
+	res, _ := runFigure5(cfg, seq, phaseLen, phases, figure5Lookahead, opts)
 	return res
 }
 

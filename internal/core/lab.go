@@ -10,6 +10,7 @@ import (
 	"webharmony/internal/harmony"
 	"webharmony/internal/monitor"
 	"webharmony/internal/param"
+	"webharmony/internal/rng"
 	"webharmony/internal/simnet"
 	"webharmony/internal/simplex"
 	"webharmony/internal/telemetry"
@@ -178,6 +179,30 @@ func NewLab(cfg LabConfig, w tpcw.Workload) *Lab {
 		}
 	}
 	return lab
+}
+
+// Fork builds an independent lab primed to evaluate one speculative
+// candidate: the same cluster shape, catalog scale and client load as the
+// parent, the parent's currently staged per-node configurations, and
+// fresh rng streams seeded with rng.TaskSeed(parent seed, task) so every
+// candidate's simulation is independent of the parent's, of the other
+// candidates', and of which worker builds it. A live engine cannot be
+// deep-copied (its event heap holds closures over simulator state), so a
+// fork is generative — rebuilt from configuration, not cloned — which is
+// precisely what makes speculative evaluation history-independent and
+// therefore byte-identical at any worker count. The fork registers its
+// telemetry recorder (when enabled) under the parent's unit extended by
+// unit, runs sequentially (Workers = 1), and is discarded after one
+// measurement.
+func (l *Lab) Fork(task uint64, w tpcw.Workload, unit string) *Lab {
+	cfg := telemetrySub(l.Cfg, unit)
+	cfg.Seed = rng.TaskSeed(l.Cfg.Seed, task)
+	cfg.Workers = 1
+	f := NewLab(cfg, w)
+	for node, nc := range l.Sys.SnapshotConfigs() {
+		f.Sys.SetNodeConfig(node, nc)
+	}
+	return f
 }
 
 // Recorder returns the lab's telemetry recorder; nil when telemetry is

@@ -1,0 +1,27 @@
+package harmony
+
+import "testing"
+
+// TestStrategyStepAllocs pins the steady-state allocation cost of one
+// tuning iteration so event-loop and bookkeeping wins don't silently
+// erode. Measured on the synthetic two-tier cluster: 16 allocs/Step for
+// the default strategy and 22 for duplication/partitioning (stable
+// across seeds — the ask/tell path allocates only proposal clones and
+// the per-iteration report slices). The ceiling leaves ~45% headroom so
+// legitimate small changes don't trip it, while a quadratic or
+// per-parameter regression will.
+func TestStrategyStepAllocs(t *testing.T) {
+	const ceiling = 32.0
+	for _, kind := range []StrategyKind{StrategyDefault, StrategyDuplication, StrategyPartitioning} {
+		fc := newFakeCluster(0.5)
+		st := NewStrategy(kind, fc, 2, Options{Seed: 7})
+		// Warm past structural exploration so the measurement covers the
+		// steady ask/tell cycle, not one-time session setup.
+		for i := 0; i < 40; i++ {
+			st.Step()
+		}
+		if avg := testing.AllocsPerRun(200, func() { st.Step() }); avg > ceiling {
+			t.Errorf("%v: %.1f allocs/Step, ceiling %.0f", kind, avg, ceiling)
+		}
+	}
+}

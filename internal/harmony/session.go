@@ -163,6 +163,23 @@ func (s *Session) NextConfig() param.Config {
 	return s.pending.Clone()
 }
 
+// Peek returns up to max upcoming proposals without advancing the
+// session: provided no Restart intervenes, the next NextConfig/Report
+// cycles will propose exactly these configurations, in order, whatever
+// performance the Reports carry. At least one configuration is returned;
+// fewer than max when the kernel's later moves depend on measurements it
+// has not seen yet. With an outstanding proposal only that proposal is
+// visible (its Report may steer everything after it).
+func (s *Session) Peek(max int) []param.Config {
+	if max < 1 {
+		max = 1
+	}
+	if s.asked {
+		return []param.Config{s.pending.Clone()}
+	}
+	return s.tuner.Peek(max)
+}
+
 // Report records the measured performance (higher is better) of the
 // configuration returned by the last NextConfig.
 func (s *Session) Report(perf float64) {

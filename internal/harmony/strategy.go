@@ -94,6 +94,7 @@ type Strategy struct {
 	best    float64
 	bestIt  int
 	hybridK int
+	gen     int // session generations: bumped when the hybrid switches
 }
 
 // NewStrategy creates a tuning strategy of the given kind over the target.
@@ -224,26 +225,32 @@ func (s *Strategy) initPartitioning() {
 func (s *Strategy) scatter(get func(*Session) param.Config, stage bool) map[int]param.Config {
 	out := make(map[int]param.Config)
 	for i, sess := range s.sessions {
-		cfg := get(sess)
-		m := s.maps[i]
-		if m.spaces == nil {
-			for _, n := range m.nodes {
-				out[n] = cfg.Clone()
-				if stage {
-					s.target.SetNodeConfig(n, cfg)
-				}
-			}
-			continue
-		}
-		for j, n := range m.nodes {
-			sub := param.Slice(cfg, m.spaces, j)
-			out[n] = sub
-			if stage {
-				s.target.SetNodeConfig(n, sub)
-			}
-		}
+		s.assign(i, get(sess), stage, out)
 	}
 	return out
+}
+
+// assign scatters session i's configuration to its nodes, writing the
+// per-node slices into out and, when stage is set, staging them on the
+// target.
+func (s *Strategy) assign(i int, cfg param.Config, stage bool, out map[int]param.Config) {
+	m := s.maps[i]
+	if m.spaces == nil {
+		for _, n := range m.nodes {
+			out[n] = cfg.Clone()
+			if stage {
+				s.target.SetNodeConfig(n, cfg)
+			}
+		}
+		return
+	}
+	for j, n := range m.nodes {
+		sub := param.Slice(cfg, m.spaces, j)
+		out[n] = sub
+		if stage {
+			s.target.SetNodeConfig(n, sub)
+		}
+	}
 }
 
 // Kind returns the strategy kind.
@@ -255,11 +262,31 @@ func (s *Strategy) Sessions() []*Session { return s.sessions }
 // Step runs one tuning iteration: stage configurations, measure, report.
 // It returns the iteration's global WIPS.
 func (s *Strategy) Step() float64 {
-	if s.kind == StrategyHybrid && s.iters == s.hybridK {
-		s.switchToPartitioning()
-	}
+	s.maybeSwitch()
 	s.scatter(func(sess *Session) param.Config { return sess.NextConfig() }, true)
 	wips, lineWIPS := s.target.RunIteration()
+	s.commitReports(wips, lineWIPS)
+	return wips
+}
+
+// CommitStep completes one tuning iteration whose measurement was taken
+// elsewhere — a speculatively evaluated candidate: it stages the
+// iteration's configurations exactly as Step would, then reports the
+// given measurement to the sessions, skipping target.RunIteration. The
+// caller must have measured the configurations Lookahead(1) proposes at
+// the moment of the call; committing a measurement taken for any other
+// configuration corrupts the search (speculative runners re-check the
+// lookahead before every commit for exactly this reason).
+func (s *Strategy) CommitStep(wips float64, lineWIPS []float64) {
+	s.maybeSwitch()
+	s.scatter(func(sess *Session) param.Config { return sess.NextConfig() }, true)
+	s.commitReports(wips, lineWIPS)
+}
+
+// commitReports is the shared bookkeeping tail of Step and CommitStep:
+// report the iteration's measurement to every session and update the
+// strategy's performance record.
+func (s *Strategy) commitReports(wips float64, lineWIPS []float64) {
 	perLine := s.kind == StrategyPartitioning ||
 		(s.kind == StrategyHybrid && s.iters >= s.hybridK)
 	for l, sess := range s.sessions {
@@ -275,7 +302,65 @@ func (s *Strategy) Step() float64 {
 		s.best = wips
 		s.bestIt = s.iters
 	}
-	return wips
+}
+
+// Lookahead returns up to max upcoming iterations' node→configuration
+// assignments without advancing any session: entry j is exactly what
+// iteration Iterations()+j would stage. The joint depth is the minimum of
+// the sessions' peek depths (at least one); a hybrid strategy's lookahead
+// is additionally truncated at the duplication→partitioning switch, whose
+// new sessions depend on the duplication phase's results. Entries are
+// valid only while Epoch() is unchanged — a shift-detection restart
+// re-anchors a session's search, invalidating everything peeked past it.
+func (s *Strategy) Lookahead(max int) []map[int]param.Config {
+	s.maybeSwitch()
+	if max < 1 {
+		max = 1
+	}
+	if s.kind == StrategyHybrid && s.gen == 0 && max > s.hybridK-s.iters {
+		max = s.hybridK - s.iters
+	}
+	depth := max
+	peeks := make([][]param.Config, len(s.sessions))
+	for i, sess := range s.sessions {
+		peeks[i] = sess.Peek(max)
+		if len(peeks[i]) < depth {
+			depth = len(peeks[i])
+		}
+	}
+	out := make([]map[int]param.Config, 0, depth)
+	for j := 0; j < depth; j++ {
+		m := make(map[int]param.Config)
+		for i := range s.sessions {
+			s.assign(i, peeks[i][j], false, m)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Epoch identifies the strategy's current search lineage: it advances
+// whenever any session restarts (shift detection or an explicit Restart)
+// and when the hybrid switches session generations. Speculative runners
+// capture it alongside a Lookahead and discard any uncommitted candidates
+// once a commit changes it — their proposals no longer match what the
+// re-anchored sessions will ask next.
+func (s *Strategy) Epoch() int {
+	e := s.gen << 20
+	for _, sess := range s.sessions {
+		e += sess.Resets()
+	}
+	return e
+}
+
+// maybeSwitch performs the hybrid's one-time duplication→partitioning
+// transition once the duplication phase has run its course. Both the
+// stepping entry points and Lookahead call it, so a lookahead taken at
+// the boundary peeks the sessions that will actually run next.
+func (s *Strategy) maybeSwitch() {
+	if s.kind == StrategyHybrid && s.gen == 0 && s.iters >= s.hybridK {
+		s.switchToPartitioning()
+	}
 }
 
 // switchToPartitioning converts a hybrid strategy's sessions to per-line
@@ -289,6 +374,7 @@ func (s *Strategy) switchToPartitioning() {
 		return best
 	}, true)
 	s.initPartitioning()
+	s.gen++
 }
 
 // BestNodeConfigs returns, for every node, the configuration the strategy

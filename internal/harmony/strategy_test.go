@@ -15,6 +15,7 @@ type fakeCluster struct {
 	configs map[int]param.Config
 	src     *rng.Source
 	noise   float64
+	bias    float64 // added to every line's output; flip it to fake a workload shift
 	iters   int
 }
 
@@ -70,8 +71,8 @@ func (f *fakeCluster) RunIteration() (float64, []float64) {
 	f.iters++
 	line0 := f.nodePerf(0) + f.nodePerf(2)
 	line1 := f.nodePerf(1) + f.nodePerf(3)
-	n0 := f.src.Normal(0, f.noise)
-	n1 := f.src.Normal(0, f.noise)
+	n0 := f.src.Normal(0, f.noise) + f.bias
+	n1 := f.src.Normal(0, f.noise) + f.bias
 	return line0 + line1 + n0 + n1, []float64{line0 + n0, line1 + n1}
 }
 

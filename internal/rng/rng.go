@@ -39,6 +39,16 @@ func New(seed uint64) *Source {
 	}
 }
 
+// Clone returns an independent copy of the source frozen at its current
+// state: the clone produces exactly the stream the original would, without
+// advancing it. This is what non-committing lookahead needs — a tuner can
+// replay the draws its next Ask would make on a clone and leave its real
+// stream untouched.
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}
+
 // Split derives an independent child stream from the source's current state
 // and the given salt. The parent's state advances, so successive splits with
 // the same salt still produce distinct children.

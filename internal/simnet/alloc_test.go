@@ -1,0 +1,24 @@
+package simnet
+
+import "testing"
+
+// TestStationAllocs pins the hot submit/step path of the event loop at
+// its measured cost of exactly one allocation per job (the job record
+// itself; completions reuse pooled events). This is the loop
+// BenchmarkStationThroughput times — the guard turns the allocation
+// half of that win into a regression test that fails fast instead of a
+// benchmark number someone has to notice drifting.
+func TestStationAllocs(t *testing.T) {
+	var e Engine
+	st := NewStation(&e, "cpu", 2, 1)
+	for i := 0; i < 1000; i++ {
+		st.Submit(0.001, nil)
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(5000, func() {
+		st.Submit(0.001, nil)
+		e.Step()
+	}); avg > 1.5 {
+		t.Errorf("station submit+step: %.2f allocs, want ≤ 1 (ceiling 1.5)", avg)
+	}
+}

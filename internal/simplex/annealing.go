@@ -101,6 +101,26 @@ func (sa *SimulatedAnnealing) Ask() param.Config {
 	return sa.space.Denormalize(sa.pending)
 }
 
+// Peek returns the next proposal without mutating the annealer. The
+// horizon is one: Tell decides acceptance with a Metropolis draw (and
+// cools the temperature), so every later proposal depends on the cost.
+// The perturbation draws are replayed on a clone of the rng stream.
+func (sa *SimulatedAnnealing) Peek(max int) []param.Config {
+	if sa.asked {
+		panic("simplex: Peek with an outstanding proposal")
+	}
+	if sa.first {
+		return []param.Config{sa.space.Denormalize(sa.current)}
+	}
+	src := sa.src.Clone()
+	u := append([]float64(nil), sa.current...)
+	k := 1 + src.Intn(len(u))
+	for _, i := range src.Perm(len(u))[:k] {
+		u[i] += src.Normal(0, sa.temp)
+	}
+	return []param.Config{sa.space.Denormalize(clampCube(u))}
+}
+
 // Tell reports the cost (lower is better) for the last proposal.
 func (sa *SimulatedAnnealing) Tell(cost float64) {
 	if !sa.asked {

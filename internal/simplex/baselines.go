@@ -53,6 +53,34 @@ func (r *RandomSearch) Ask() param.Config {
 	return r.pending.Clone()
 }
 
+// Peek returns up to max upcoming proposals without mutating the search.
+// Random search is fully tell-independent — Tell never touches the rng
+// stream — so the horizon is unbounded: the draws are replayed on a clone.
+func (r *RandomSearch) Peek(max int) []param.Config {
+	if r.asked {
+		panic("simplex: Peek with an outstanding proposal")
+	}
+	if max < 1 {
+		max = 1
+	}
+	out := make([]param.Config, 0, max)
+	src := r.src.Clone()
+	first := r.first
+	for len(out) < max {
+		if first {
+			first = false
+			out = append(out, r.space.DefaultConfig())
+			continue
+		}
+		u := make([]float64, r.space.Len())
+		for i := range u {
+			u[i] = src.Float64()
+		}
+		out = append(out, r.space.Denormalize(u))
+	}
+	return out
+}
+
 // Tell reports the cost for the last proposal.
 func (r *RandomSearch) Tell(cost float64) {
 	if !r.asked {
@@ -158,6 +186,32 @@ func (c *CoordinateSearch) Ask() param.Config {
 	u[c.dim] += float64(c.dir) * c.step[c.dim]
 	c.pending = c.space.Denormalize(clampCube(u))
 	return c.pending.Clone()
+}
+
+// Peek returns up to max upcoming proposals without mutating the search.
+// Evaluating the anchor (phase 0) never depends on its cost, and the first
+// probe direction is fixed, so the horizon from phase 0 is two; once
+// probing, each accept/reject decision steers the sweep, so it is one.
+func (c *CoordinateSearch) Peek(max int) []param.Config {
+	if c.asked {
+		panic("simplex: Peek with an outstanding proposal")
+	}
+	if max < 1 {
+		max = 1
+	}
+	probe := func() param.Config {
+		u := c.space.Normalize(c.current)
+		u[c.dim] += float64(c.dir) * c.step[c.dim]
+		return c.space.Denormalize(clampCube(u))
+	}
+	if c.phase == 0 {
+		out := []param.Config{c.current.Clone()}
+		if max > 1 {
+			out = append(out, probe())
+		}
+		return out
+	}
+	return []param.Config{probe()}
 }
 
 // Tell reports the cost for the last proposal.

@@ -1,0 +1,145 @@
+package simplex
+
+import (
+	"testing"
+
+	"webharmony/internal/param"
+	"webharmony/internal/rng"
+)
+
+// peekTuners builds one of each tuner kind over the same space, seeded
+// from seed, so the Peek contract can be checked generically.
+func peekTuners(sp *param.Space, seed uint64) map[string]Tuner {
+	return map[string]Tuner{
+		"nelder-mead": NewNelderMead(sp, Options{Seed: seed}),
+		"random":      NewRandomSearch(sp, seed),
+		"coordinate":  NewCoordinateSearch(sp, 0),
+		"annealing":   NewSimulatedAnnealing(sp, AnnealingOptions{Seed: seed}),
+	}
+}
+
+// TestPeekPredictsAsk drives every tuner through many cycles with varied
+// costs; before each cycle it peeks as deep as the tuner allows and checks
+// that the subsequent Asks propose exactly the peeked configurations, in
+// order, and that peeking twice returns the same thing (no mutation).
+func TestPeekPredictsAsk(t *testing.T) {
+	sp := space2D()
+	for seed := uint64(1); seed <= 3; seed++ {
+		costs := rng.New(seed * 77)
+		for name, tn := range peekTuners(sp, seed) {
+			var expected []param.Config // still-unconsumed peeked proposals
+			for i := 0; i < 60; i++ {
+				peeked := tn.Peek(8)
+				if len(peeked) == 0 {
+					t.Fatalf("%s seed %d: Peek returned nothing", name, seed)
+				}
+				again := tn.Peek(8)
+				if len(again) != len(peeked) {
+					t.Fatalf("%s seed %d: repeated Peek depth %d != %d", name, seed, len(again), len(peeked))
+				}
+				for j := range peeked {
+					if !peeked[j].Equal(again[j]) {
+						t.Fatalf("%s seed %d: repeated Peek diverged at %d: %v != %v",
+							name, seed, j, peeked[j], again[j])
+					}
+				}
+				// The tail of an earlier, deeper peek must still be honored.
+				if len(expected) > 0 && !peeked[0].Equal(expected[0]) {
+					t.Fatalf("%s seed %d iter %d: earlier Peek promised %v, now proposes %v",
+						name, seed, i, expected[0], peeked[0])
+				}
+				expected = peeked[1:]
+				got := tn.Ask()
+				if !got.Equal(peeked[0]) {
+					t.Fatalf("%s seed %d iter %d: Ask %v != Peek %v", name, seed, i, got, peeked[0])
+				}
+				tn.Tell(costs.Uniform(-100, 100))
+			}
+		}
+	}
+}
+
+// TestPeekDoesNotPerturbTwin steps two identically-seeded tuners through
+// the same costs, peeking only one of them, and checks their proposal
+// streams never diverge — Peek is side-effect free.
+func TestPeekDoesNotPerturbTwin(t *testing.T) {
+	sp := space2D()
+	peekers := peekTuners(sp, 9)
+	plains := peekTuners(sp, 9)
+	costs := rng.New(123)
+	for name, peeker := range peekers {
+		plain := plains[name]
+		for i := 0; i < 80; i++ {
+			peeker.Peek(1 + i%7)
+			a, b := peeker.Ask(), plain.Ask()
+			if !a.Equal(b) {
+				t.Fatalf("%s iter %d: peeked tuner proposes %v, twin %v", name, i, a, b)
+			}
+			c := costs.Uniform(-50, 50)
+			peeker.Tell(c)
+			plain.Tell(c)
+			if i == 40 {
+				anchor := sp.DefaultConfig()
+				peeker.Reset(anchor)
+				plain.Reset(anchor)
+			}
+		}
+	}
+}
+
+// TestPeekHorizons pins the documented tell-independent horizons: a fresh
+// Nelder-Mead simplex exposes all dim+1 initial vertices, random search is
+// unbounded, coordinate search sees anchor + first probe, annealing one.
+func TestPeekHorizons(t *testing.T) {
+	sp := space2D()
+	want := map[string]int{
+		"nelder-mead": sp.Len() + 1,
+		"random":      12,
+		"coordinate":  2,
+		"annealing":   1,
+	}
+	for name, tn := range peekTuners(sp, 4) {
+		if got := len(tn.Peek(12)); got != want[name] {
+			t.Fatalf("%s: fresh Peek(12) depth = %d, want %d", name, got, want[name])
+		}
+	}
+	// After a reset mid-run the simplex re-exposes a full init phase.
+	nm := NewNelderMead(sp, Options{Seed: 2})
+	drive(nm, bowl(50, 50), 10)
+	nm.Reset(sp.DefaultConfig())
+	if got := len(nm.Peek(12)); got != sp.Len()+1 {
+		t.Fatalf("post-reset Peek depth = %d, want %d", got, sp.Len()+1)
+	}
+}
+
+// TestPeekPanicsWhenAsked pins the protocol: peeking with an outstanding
+// proposal is a bug, exactly like a double Ask.
+func TestPeekPanicsWhenAsked(t *testing.T) {
+	for name, tn := range peekTuners(space2D(), 1) {
+		tn.Ask()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Peek with outstanding proposal did not panic", name)
+				}
+			}()
+			tn.Peek(1)
+		}()
+	}
+}
+
+// TestPeekDepthBeyondPhase checks the simplex peek stops at the phase
+// boundary: once only one init vertex remains, Peek(8) returns one entry,
+// because the following reflection depends on the init costs.
+func TestPeekDepthBeyondPhase(t *testing.T) {
+	sp := space2D()
+	nm := NewNelderMead(sp, Options{Seed: 3})
+	costs := rng.New(5)
+	for done := 0; done < sp.Len(); done++ { // leave one init vertex
+		nm.Ask()
+		nm.Tell(costs.Uniform(1, 9))
+	}
+	if got := len(nm.Peek(8)); got != 1 {
+		t.Fatalf("one init vertex left: Peek depth = %d, want 1", got)
+	}
+}

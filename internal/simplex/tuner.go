@@ -41,6 +41,15 @@ type Tuner interface {
 	Converged() bool
 	// Evaluations returns the number of completed Ask/Tell cycles.
 	Evaluations() int
+	// Peek returns up to max upcoming proposals without mutating the
+	// tuner: Peek(k) followed by k Ask/Tell cycles yields exactly the
+	// peeked configurations in order, whatever costs the Tells report.
+	// At least one configuration is returned (the next Ask); fewer than
+	// max when the tuner's later moves depend on costs it has not seen
+	// yet (its tell-independent horizon). Like Ask, Peek panics while a
+	// proposal is outstanding. Speculative evaluation engines use it to
+	// fan candidate measurements out in parallel.
+	Peek(max int) []param.Config
 }
 
 // Options configures a NelderMead tuner. Zero fields take the standard
@@ -198,6 +207,39 @@ func (nm *NelderMead) Ask() param.Config {
 		}
 	}
 	return nm.space.Denormalize(nm.pending)
+}
+
+// Peek returns up to max upcoming proposals without mutating the simplex.
+// During init and shrink the remaining vertex evaluations are fully
+// predetermined (Tell only records their costs until the phase completes),
+// so the whole tail of the phase is visible; during reflect, expand and
+// contract the next proposal is a pure function of the current simplex but
+// every later move depends on the cost it draws, so the horizon is one.
+func (nm *NelderMead) Peek(max int) []param.Config {
+	if nm.asked {
+		panic("simplex: Peek with an outstanding proposal")
+	}
+	if max < 1 {
+		max = 1
+	}
+	var out []param.Config
+	switch nm.phase {
+	case phaseInit, phaseShrink:
+		for i := nm.idx; i < len(nm.verts) && len(out) < max; i++ {
+			out = append(out, nm.space.Denormalize(nm.verts[i].u))
+		}
+	case phaseReflect:
+		out = append(out, nm.space.Denormalize(nm.reflectPoint(nm.opts.Alpha)))
+	case phaseExpand:
+		out = append(out, nm.space.Denormalize(nm.reflectPoint(nm.opts.Alpha*nm.opts.Gamma)))
+	case phaseContract:
+		coef := nm.opts.Alpha * nm.opts.Rho
+		if nm.lastWasInside {
+			coef = -nm.opts.Rho
+		}
+		out = append(out, nm.space.Denormalize(nm.reflectPoint(coef)))
+	}
+	return out
 }
 
 // reflectPoint returns centroid + coef*(centroid - worst), clamped to the
