@@ -59,6 +59,14 @@ func captureFigure5(t *testing.T, workers int, seed, shift string) string {
 // and 8, across three seeds and with shift detection both enabled and
 // disabled. The worker pool only changes how many forked labs evaluate
 // speculative candidates concurrently, never what is committed.
+//
+// Each (seed, shift) document is additionally pinned against a checked-in
+// golden, so the matrix guards against behavior drift over time (a pooled
+// request record reordering an event, say), not just divergence between
+// worker counts within one build. Regenerate (only when a behavior change
+// is intended) with:
+//
+//	go test ./cmd/webtune/ -run TestFigure5EquivalentAcrossWorkers -update
 func TestFigure5EquivalentAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation determinism matrix")
@@ -71,6 +79,20 @@ func TestFigure5EquivalentAcrossWorkers(t *testing.T) {
 					!strings.Contains(base, "=== file: metrics.csv ===") ||
 					!strings.Contains(base, "=== file: prof.folded ===") {
 					t.Fatalf("telemetry sinks missing from document:\n%.400s", base)
+				}
+				golden := filepath.Join("testdata",
+					fmt.Sprintf("figure5-matrix-seed%s-shift%s.golden", seed, shift))
+				if *update {
+					if err := os.WriteFile(golden, []byte(base), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (regenerate with -update): %v", err)
+				}
+				if base != string(want) {
+					t.Errorf("output differs from %s (regenerate with -update if the change is intended)", golden)
 				}
 				for _, workers := range []int{4, 8} {
 					if got := captureFigure5(t, workers, seed, shift); got != base {

@@ -132,6 +132,10 @@ type Server struct {
 	http  *simnet.TokenPool
 	ajp   *simnet.TokenPool
 	stats Stats
+
+	// free recycles per-request call records so the steady-state request
+	// path allocates no closures; see the call type and DESIGN.md §7.
+	free []*call
 }
 
 // New creates an application server on the given node.
@@ -181,6 +185,154 @@ func (s *Server) generationDemand(respBytes int64) float64 {
 	return d
 }
 
+// call stages. The stage names the event whose completion the call is
+// waiting on; callFree is the recycled sentinel — any dispatch on it means
+// a stale callback fired on a recycled record, and panics.
+const (
+	callFree int8 = iota
+	callHTTPGrant
+	callParsed
+	callComputed
+	callAJPGrant
+	callGenerated
+	callSent
+)
+
+// call is one in-flight request's state at the application tier: the
+// pooled replacement for the closure chain Serve used to build per
+// request. Its three callbacks (step, reject, release) are method values
+// allocated once when the record is first created and reused across
+// recycles, so a steady-state request costs zero closure allocations here.
+//
+// Records are released back to the server's free list before the request's
+// done callback runs (the engine's release-before-callback discipline), so
+// a synchronous grant chain triggered by done can immediately reuse them.
+type call struct {
+	srv       *Server
+	respBytes int64
+	extraCPU  float64
+	backend   func(release func(ok bool))
+	done      func(ok bool)
+	stage     int8
+
+	stepFn    func()        // bound step, scheduled for every stage advance
+	rejectFn  func()        // bound reject, passed to both pool Acquires
+	releaseFn func(ok bool) // bound release, handed to the backend
+}
+
+// getCall returns a recycled call record, or a fresh one with its
+// callbacks bound.
+func (s *Server) getCall(respBytes int64, extraCPU float64, backend func(release func(ok bool)), done func(ok bool)) *call {
+	var c *call
+	if n := len(s.free); n > 0 {
+		c = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		c = &call{srv: s}
+		c.stepFn = c.step
+		c.rejectFn = c.reject
+		c.releaseFn = c.release
+	}
+	c.respBytes = respBytes
+	c.extraCPU = extraCPU
+	c.backend = backend
+	c.done = done
+	return c
+}
+
+// putCall recycles a call record, dropping its callback references and
+// arming the stale-dispatch sentinel.
+func (s *Server) putCall(c *call) {
+	c.backend = nil
+	c.done = nil
+	c.stage = callFree
+	s.free = append(s.free, c)
+}
+
+// step advances the call through the same event sequence the closure chain
+// produced: HTTP grant → parse CPU → (generation CPU | AJP grant → backend
+// → generation CPU) → NIC transmit → completion.
+func (c *call) step() {
+	s := c.srv
+	switch c.stage {
+	case callHTTPGrant:
+		s.stats.Accepted++
+		// Parse + static part of the work on the HTTP connector thread.
+		c.stage = callParsed
+		s.node.CPU().Submit(s.cost.ParseCost, c.stepFn)
+	case callParsed:
+		if c.backend == nil {
+			// Pure servlet computation, no database.
+			c.stage = callComputed
+			s.node.CPU().Submit(s.generationDemand(c.respBytes)+c.extraCPU, c.stepFn)
+			return
+		}
+		// Dynamic request: hand off to an AJP worker.
+		c.stage = callAJPGrant
+		s.ajp.Acquire(c.stepFn, c.rejectFn)
+	case callAJPGrant:
+		// On the AJP worker: run the database leg. The backend may invoke
+		// release synchronously, recycling c — this must be the last use.
+		c.backend(c.releaseFn)
+	case callComputed:
+		c.stage = callSent
+		s.node.NIC().Submit(s.node.NetDemand(c.respBytes), c.stepFn)
+	case callGenerated:
+		s.ajp.Release()
+		c.stage = callSent
+		s.node.NIC().Submit(s.node.NetDemand(c.respBytes), c.stepFn)
+	case callSent:
+		done := c.done
+		s.putCall(c)
+		s.http.Release()
+		s.stats.Completed++
+		done(true)
+	default:
+		panic("appserver: call stepped after release")
+	}
+}
+
+// reject handles an accept-queue overflow at whichever connector the call
+// is waiting on.
+func (c *call) reject() {
+	s := c.srv
+	done := c.done
+	switch c.stage {
+	case callHTTPGrant:
+		s.putCall(c)
+		s.stats.RejectedHTTP++
+		done(false)
+	case callAJPGrant:
+		s.putCall(c)
+		s.stats.RejectedAJP++
+		s.http.Release()
+		done(false)
+	default:
+		panic("appserver: call rejected after release")
+	}
+}
+
+// release is the completion the backend invokes when the database leg
+// settles; ok=false means the query was shed.
+func (c *call) release(ok bool) {
+	s := c.srv
+	if c.stage != callAJPGrant {
+		panic("appserver: backend release after call settled")
+	}
+	if !ok {
+		done := c.done
+		s.putCall(c)
+		s.ajp.Release()
+		s.http.Release()
+		done(false)
+		return
+	}
+	// Back from the database: generate the page.
+	c.stage = callGenerated
+	s.node.CPU().Submit(s.generationDemand(c.respBytes)+c.extraCPU, c.stepFn)
+}
+
 // Serve processes one request at the application tier.
 //
 // respBytes is the size of the generated response and extraCPU is
@@ -192,51 +344,9 @@ func (s *Server) generationDemand(respBytes int64) float64 {
 // database shed the query). done reports whether the request succeeded;
 // false means it was shed at an accept queue or by the backend.
 func (s *Server) Serve(respBytes int64, extraCPU float64, backend func(release func(ok bool)), done func(ok bool)) {
-	s.http.Acquire(func() {
-		s.stats.Accepted++
-		// Parse + static part of the work on the HTTP connector thread.
-		s.node.CPU().Submit(s.cost.ParseCost, func() {
-			if backend == nil {
-				// Pure servlet computation, no database.
-				s.node.CPU().Submit(s.generationDemand(respBytes)+extraCPU, func() {
-					s.finish(respBytes, done)
-				})
-				return
-			}
-			// Dynamic request: hand off to an AJP worker.
-			s.ajp.Acquire(func() {
-				backend(func(ok bool) {
-					if !ok {
-						s.ajp.Release()
-						s.http.Release()
-						done(false)
-						return
-					}
-					// Back from the database: generate the page.
-					s.node.CPU().Submit(s.generationDemand(respBytes)+extraCPU, func() {
-						s.ajp.Release()
-						s.finish(respBytes, done)
-					})
-				})
-			}, func() {
-				s.stats.RejectedAJP++
-				s.http.Release()
-				done(false)
-			})
-		})
-	}, func() {
-		s.stats.RejectedHTTP++
-		done(false)
-	})
-}
-
-// finish transmits the response and releases the HTTP thread.
-func (s *Server) finish(respBytes int64, done func(ok bool)) {
-	s.node.NIC().Submit(s.node.NetDemand(respBytes), func() {
-		s.http.Release()
-		s.stats.Completed++
-		done(true)
-	})
+	c := s.getCall(respBytes, extraCPU, backend, done)
+	c.stage = callHTTPGrant
+	s.http.Acquire(c.stepFn, c.rejectFn)
 }
 
 // QueueDepths returns the HTTP and AJP wait-queue lengths, for diagnostics.

@@ -97,6 +97,42 @@ func TestBackendFailurePropagates(t *testing.T) {
 	}
 }
 
+func TestAccessorsAndThreadAccounting(t *testing.T) {
+	eng, s := newServer(defaults())
+	if s.Config() != defaults() {
+		t.Errorf("Config() = %+v, want the construction config", s.Config())
+	}
+	if s.Node() == nil || s.Node().Tier() != cluster.TierApp {
+		t.Errorf("Node() = %v, want the app-tier node", s.Node())
+	}
+	// While the backend holds the request, one HTTP and one AJP
+	// processor thread must show as busy; both return to idle when the
+	// pooled call record is released.
+	var httpBusy, ajpBusy int
+	s.Serve(8<<10, 0, func(release func(bool)) {
+		httpBusy, ajpBusy = s.ThreadsInUse()
+		eng.Schedule(0.05, func() { release(true) })
+	}, func(bool) {})
+	eng.Run()
+	if httpBusy != 1 || ajpBusy != 1 {
+		t.Errorf("ThreadsInUse at backend = %d/%d, want 1/1", httpBusy, ajpBusy)
+	}
+	if h, a := s.ThreadsInUse(); h != 0 || a != 0 {
+		t.Errorf("ThreadsInUse after drain = %d/%d, want 0/0", h, a)
+	}
+}
+
+func TestBufferEfficiencyFloorsNonPositiveSize(t *testing.T) {
+	cfg := defaults()
+	cfg.BufferSize = 0
+	_, s := newServer(cfg)
+	// A zero/negative buffer size is treated as the 0.5 KB floor, so the
+	// multiplier stays finite and strictly above the large-buffer limit.
+	if e := s.bufferEfficiency(); !(e > 1 && e < 2) {
+		t.Errorf("bufferEfficiency(0) = %v, want within (1, 2)", e)
+	}
+}
+
 func TestAcceptQueueOverflowRejects(t *testing.T) {
 	cfg := defaults()
 	cfg.MaxProcessors = 1

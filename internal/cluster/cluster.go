@@ -235,6 +235,10 @@ func (n *Node) Utilization(s UtilSnapshot) [NumResources]float64 {
 // Cluster is the collection of nodes.
 type Cluster struct {
 	nodes []*Node
+
+	// byTier holds the backing arrays TierNodes reuses across calls, so
+	// the request router's per-request tier picks allocate nothing.
+	byTier [3][]*Node
 }
 
 // New creates a cluster of nodes: counts[t] nodes are assigned to tier t.
@@ -269,14 +273,18 @@ func (c *Cluster) Node(id int) *Node {
 	return nil
 }
 
-// TierNodes returns the nodes currently serving tier t, in ID order.
+// TierNodes returns the nodes currently serving tier t, in ID order. The
+// returned slice's backing array is reused by the next TierNodes call for
+// the same tier: callers must not modify it or retain it across tier
+// reassignments.
 func (c *Cluster) TierNodes(t Tier) []*Node {
-	var out []*Node
+	out := c.byTier[t][:0]
 	for _, n := range c.nodes {
 		if n.tier == t {
 			out = append(out, n)
 		}
 	}
+	c.byTier[t] = out
 	return out
 }
 

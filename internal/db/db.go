@@ -184,6 +184,10 @@ type Server struct {
 	threads *simnet.TokenPool
 	src     *rng.Source
 	stats   Stats
+
+	// free recycles per-query records so the steady-state query path
+	// allocates no closures; see the query type and DESIGN.md §7.
+	free []*query
 }
 
 // New creates a database server on the given node. src drives the
@@ -254,30 +258,125 @@ func (s *Server) insertBatchFactor() float64 {
 	return f
 }
 
+// query stages. The stage names the event whose completion the query is
+// waiting on; qFree is the recycled sentinel — a dispatch on it means a
+// stale callback fired on a recycled record, and panics.
+const (
+	qFree int8 = iota
+	qConnGrant
+	qThreadGrant
+	qExecuted
+	qDiskDone
+	qSent
+)
+
+// query is one in-flight database request's state: the pooled replacement
+// for the closure chain Query/execute used to build per request. Its two
+// callbacks are method values allocated once when the record is first
+// created and reused across recycles; records return to the server's free
+// list before the request's done callback runs.
+type query struct {
+	srv         *Server
+	kind        QueryKind
+	resultBytes int64
+	done        func(ok bool)
+	diskSeconds float64
+	stage       int8
+
+	stepFn   func() // bound step, scheduled per stage advance
+	rejectFn func() // bound reject, passed to the connection Acquire
+}
+
+// getQuery returns a recycled query record, or a fresh one with its
+// callbacks bound.
+func (s *Server) getQuery(kind QueryKind, resultBytes int64, done func(ok bool)) *query {
+	var q *query
+	if n := len(s.free); n > 0 {
+		q = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		q = &query{srv: s}
+		q.stepFn = q.step
+		q.rejectFn = q.reject
+	}
+	q.kind = kind
+	q.resultBytes = resultBytes
+	q.done = done
+	return q
+}
+
+// putQuery recycles a query record, dropping its callback reference and
+// arming the stale-dispatch sentinel.
+func (s *Server) putQuery(q *query) {
+	q.done = nil
+	q.stage = qFree
+	s.free = append(s.free, q)
+}
+
+// step advances the query through the same event sequence the closure
+// chain produced: connection grant → thread grant → CPU → (disk) → NIC →
+// completion.
+func (q *query) step() {
+	s := q.srv
+	switch q.stage {
+	case qConnGrant:
+		q.stage = qThreadGrant
+		s.threads.Acquire(q.stepFn, nil) // thread queue is unbounded; connections bound admission
+	case qThreadGrant:
+		q.execute()
+	case qExecuted:
+		if q.diskSeconds > 0 {
+			q.stage = qDiskDone
+			s.node.Disk().Submit(q.diskSeconds, q.stepFn)
+			return
+		}
+		q.stage = qSent
+		s.node.NIC().Submit(s.node.NetDemand(q.resultBytes), q.stepFn)
+	case qDiskDone:
+		q.stage = qSent
+		s.node.NIC().Submit(s.node.NetDemand(q.resultBytes), q.stepFn)
+	case qSent:
+		done := q.done
+		s.putQuery(q)
+		s.threads.Release()
+		s.conns.Release()
+		s.stats.Completed++
+		done(true)
+	default:
+		panic("db: query stepped after release")
+	}
+}
+
+// reject handles a shed connection at the listener.
+func (q *query) reject() {
+	s := q.srv
+	if q.stage != qConnGrant {
+		panic("db: query rejected after release")
+	}
+	done := q.done
+	s.putQuery(q)
+	s.stats.RejectedConns++
+	done(false)
+}
+
 // Query executes a database request of the given kind producing
 // resultBytes of output. done(ok) fires on completion; ok=false means the
 // connection was shed at the listener.
 func (s *Server) Query(kind QueryKind, resultBytes int64, done func(ok bool)) {
 	s.stats.Queries++
-	s.conns.Acquire(func() {
-		s.threads.Acquire(func() {
-			s.execute(kind, resultBytes, func() {
-				s.threads.Release()
-				s.conns.Release()
-				s.stats.Completed++
-				done(true)
-			})
-		}, nil) // thread queue is unbounded; connections bound admission
-	}, func() {
-		s.stats.RejectedConns++
-		done(false)
-	})
+	q := s.getQuery(kind, resultBytes, done)
+	q.stage = qConnGrant
+	s.conns.Acquire(q.stepFn, q.rejectFn)
 }
 
-// execute runs the query body on the node's resources, then calls done.
-func (s *Server) execute(kind QueryKind, resultBytes int64, done func()) {
+// execute runs the query body on the node's resources: the cost-model
+// draws happen here, in the same order the closure pipeline made them,
+// and the resulting CPU/disk/NIC demands drive the remaining stages.
+func (q *query) execute() {
+	s := q.srv
 	cpu := s.cost.ParseCost
-	if kind == QueryJoin {
+	if q.kind == QueryJoin {
 		cpu += s.cost.JoinExtraCost
 		// An undersized join buffer costs a little extra CPU for block
 		// nested-loop passes; above ~256 KB the effect vanishes. This is
@@ -287,7 +386,7 @@ func (s *Server) execute(kind QueryKind, resultBytes int64, done func()) {
 			cpu += 0.0004
 		}
 	}
-	cpu += s.cost.RowCost * float64(resultBytes) / 1024 * s.netEfficiency()
+	cpu += s.cost.RowCost * float64(q.resultBytes) / 1024 * s.netEfficiency()
 
 	// Stack-cramped threads re-allocate frames for deep plans.
 	if s.cfg.ThreadStack < 96<<10 {
@@ -295,7 +394,7 @@ func (s *Server) execute(kind QueryKind, resultBytes int64, done func()) {
 	}
 
 	diskSeconds := 0.0
-	if kind == QueryWrite {
+	if q.kind == QueryWrite {
 		txn := int64(s.src.LogNormal(s.cost.TxnSizeMu, s.cost.TxnSizeSigma))
 		logBytes := s.cost.WriteLogBytes
 		if txn > s.cfg.BinlogCacheSize {
@@ -321,14 +420,7 @@ func (s *Server) execute(kind QueryKind, resultBytes int64, done func()) {
 		diskSeconds += s.node.DiskDemand(4 << 10) // .frm read
 	}
 
-	s.node.CPU().Submit(cpu, func() {
-		after := func() {
-			s.node.NIC().Submit(s.node.NetDemand(resultBytes), done)
-		}
-		if diskSeconds > 0 {
-			s.node.Disk().Submit(diskSeconds, after)
-		} else {
-			after()
-		}
-	})
+	q.diskSeconds = diskSeconds
+	q.stage = qExecuted
+	s.node.CPU().Submit(cpu, q.stepFn)
 }

@@ -30,8 +30,16 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source seeded from seed. Distinct seeds yield
 // statistically independent streams.
 func New(seed uint64) *Source {
+	src := Seeded(seed)
+	return &src
+}
+
+// Seeded returns a Source value seeded exactly as New(seed) — same seeding,
+// same stream — for transient throwaway sources that should live on the
+// caller's stack instead of costing a heap allocation each.
+func Seeded(seed uint64) Source {
 	s := seed
-	return &Source{
+	return Source{
 		s0: splitmix64(&s),
 		s1: splitmix64(&s),
 		s2: splitmix64(&s),

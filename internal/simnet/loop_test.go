@@ -300,6 +300,37 @@ func TestStationResetDrainsThroughEvictHandler(t *testing.T) {
 	}
 }
 
+// TestStationResetEvictResubmitSurvives: an evict handler that settles a
+// job by retrying it resubmits into the station mid-Reset. The resubmitted
+// job belongs to the post-reset queue; Reset used to clear the queue again
+// after the drain, silently dropping exactly the retries the evict hook
+// exists to protect. The pooled in-service record from before the Reset
+// must also complete and recycle normally.
+func TestStationResetEvictResubmitSurvives(t *testing.T) {
+	e := &Engine{}
+	st := NewStation(e, "cpu", 1, 1)
+	ran := 0
+	st.Submit(1, func() { ran++ }) // in service across the Reset
+	st.Submit(1, func() { ran++ }) // queued; evicted by Reset
+	st.SetOnEvict(func(done func()) {
+		st.Submit(1, done) // retry; the server is busy, so it queues
+	})
+	st.Reset()
+	if st.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d after evict-resubmit, want 1 (the retry was dropped)", st.QueueLen())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("%d jobs completed, want 2 (pre-reset in-service + resubmitted)", ran)
+	}
+	if st.Busy() != 0 || st.QueueLen() != 0 {
+		t.Fatalf("station not idle after drain: busy=%d queued=%d", st.Busy(), st.QueueLen())
+	}
+	if n := len(st.freeSvc); n < 1 || n > 2 {
+		t.Fatalf("free list holds %d service records after drain, want 1–2 (recycle broken)", n)
+	}
+}
+
 // --- TokenPool reentrancy regressions ---
 
 // TestTokenPoolReentrantReleaseDuringGrant: a grant callback that

@@ -24,12 +24,49 @@ type Station struct {
 	// onEvict, when set, receives each queued job's completion callback if
 	// Reset clears a non-empty queue; see Reset.
 	onEvict func(done func())
+
+	// freeSvc recycles in-service completion records so steady-state
+	// Submit/complete cycles are allocation-free: each record carries a
+	// fire closure allocated once, scheduled in place of a fresh per-job
+	// closure. See DESIGN.md §7.
+	freeSvc []*svcRecord
 }
 
 type stationJob struct {
 	demand float64
 	done   func()
 	label  string // attribution stack captured at Submit (profiling runs)
+}
+
+// svcRecord is one in-service job's completion state. fire is allocated
+// once per record and reused across recycles; it dispatches back into the
+// owning station, which releases the record before running the job's done
+// callback (mirroring the engine's release-before-callback discipline).
+type svcRecord struct {
+	st   *Station
+	done func()
+	fire func()
+}
+
+// getSvc returns a recycled service record, or a fresh one.
+func (s *Station) getSvc(done func()) *svcRecord {
+	var r *svcRecord
+	if n := len(s.freeSvc); n > 0 {
+		r = s.freeSvc[n-1]
+		s.freeSvc[n-1] = nil
+		s.freeSvc = s.freeSvc[:n-1]
+	} else {
+		r = &svcRecord{st: s}
+		r.fire = func() { r.st.complete(r) }
+	}
+	r.done = done
+	return r
+}
+
+// putSvc recycles a service record, dropping its callback reference.
+func (s *Station) putSvc(r *svcRecord) {
+	r.done = nil
+	s.freeSvc = append(s.freeSvc, r)
 }
 
 // NewStation creates a station with the given number of parallel servers.
@@ -96,21 +133,29 @@ func (s *Station) Submit(demand float64, done func()) {
 func (s *Station) start(demand float64, done func(), label string) {
 	s.stamp()
 	s.busy++
-	s.eng.scheduleLabeled(demand/s.speed, label, func() {
-		s.stamp()
-		s.busy--
-		s.completed++
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
-			s.queue[len(s.queue)-1] = stationJob{} // release the closure
-			s.queue = s.queue[:len(s.queue)-1]
-			s.start(next.demand, next.done, next.label)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	s.eng.scheduleLabeled(demand/s.speed, label, s.getSvc(done).fire)
+}
+
+// complete finishes one job's service: the record is recycled first, then
+// the next queued job starts, then the job's completion callback runs —
+// the same order the per-job closures used, so event sequences are
+// unchanged.
+func (s *Station) complete(r *svcRecord) {
+	done := r.done
+	s.putSvc(r)
+	s.stamp()
+	s.busy--
+	s.completed++
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue[len(s.queue)-1] = stationJob{} // release the closure
+		s.queue = s.queue[:len(s.queue)-1]
+		s.start(next.demand, next.done, next.label)
+	}
+	if done != nil {
+		done()
+	}
 }
 
 // QueueLen returns the number of jobs waiting (not in service).
@@ -174,13 +219,16 @@ func (s *Station) Reset() {
 			panic("simnet: Reset would drop " + s.name +
 				"'s queued jobs (and leak what their callbacks hold); drain first or SetOnEvict")
 		}
+		// Detach the queue before draining: an evict handler may settle its
+		// job by resubmitting work to this station, and those jobs belong
+		// to the post-reset queue — they must survive, not be dropped with
+		// the evicted batch.
 		q := s.queue
 		s.queue = nil
 		for _, j := range q {
 			s.onEvict(j.done)
 		}
 	}
-	s.queue = nil
 }
 
 // TokenPool is a counting semaphore with a FIFO wait queue of bounded

@@ -76,9 +76,32 @@ type Driver struct {
 	sampler  *Sampler
 	sessions []*SessionSampler // per-browser walks (Sessions mode)
 	think    []*rng.Source     // per-browser think-time streams
+	browsers []*browser        // per-browser reusable request state
 	running  bool
 	ctr      Counters
 	resp     stats.Sample // response times of completed interactions
+}
+
+// browser is one emulated browser's persistent state. Each browser has at
+// most one page in flight, so its completion and think-timer callbacks are
+// allocated once here and reused for every interaction — the steady-state
+// think/request loop schedules zero fresh closures (DESIGN.md §7).
+type browser struct {
+	d       *Driver
+	eb      int
+	it      Interaction     // interaction currently in flight
+	issued  float64         // sim time the in-flight page was issued
+	imgBuf  []webobj.Object // image-slice backing store, reused per page
+	doneFn  func(ok bool)   // bound pageDone, passed to Site.Request
+	thinkFn func()          // bound browse, scheduled on the think timer
+}
+
+// newBrowser creates the reusable state for emulated browser eb.
+func newBrowser(d *Driver, eb int) *browser {
+	b := &browser{d: d, eb: eb}
+	b.doneFn = b.pageDone
+	b.thinkFn = b.browse
+	return b
 }
 
 // NewDriver creates a driver over the catalog. Browsers are not started
@@ -96,6 +119,10 @@ func NewDriver(eng *simnet.Engine, site Site, cat *webobj.Catalog, opts DriverOp
 	d.think = make([]*rng.Source, opts.Browsers)
 	for i := range d.think {
 		d.think[i] = root.Split(uint64(300 + i))
+	}
+	d.browsers = make([]*browser, opts.Browsers)
+	for i := range d.browsers {
+		d.browsers[i] = newBrowser(d, i)
 	}
 	if opts.Sessions {
 		d.sessions = make([]*SessionSampler, opts.Browsers)
@@ -116,8 +143,7 @@ func (d *Driver) Start() {
 	f := d.eng.EnterRoot("browser/think")
 	defer f.Exit()
 	for i := 0; i < d.opts.Browsers; i++ {
-		i := i
-		d.eng.Schedule(d.think[i].Uniform(0, d.opts.ThinkMean), func() { d.browse(i) })
+		d.eng.Schedule(d.think[i].Uniform(0, d.opts.ThinkMean), d.browsers[i].thinkFn)
 	}
 }
 
@@ -140,38 +166,46 @@ func (d *Driver) SetWorkload(w Workload) {
 // Workload returns the current workload.
 func (d *Driver) Workload() Workload { return d.opts.Workload }
 
-// browse runs one emulated browser's think/request loop.
-func (d *Driver) browse(eb int) {
+// browse runs one emulated browser's think/request loop iteration: draw
+// the next interaction, generate the page and issue it with the browser's
+// reusable completion callback.
+func (b *browser) browse() {
+	d := b.d
 	if !d.running {
 		return
 	}
-	var it Interaction
 	if d.sessions != nil {
-		it = d.sessions[eb].Next()
+		b.it = d.sessions[b.eb].Next()
 	} else {
-		it = d.sampler.Next()
+		b.it = d.sampler.Next()
 	}
-	pr := d.gen.Page(it, eb)
-	issued := d.eng.Now()
-	d.site.Request(pr, func(ok bool) {
-		if ok {
-			d.resp.Add(d.eng.Now() - issued)
-			d.ctr.Completed[it]++
-			if it.Class() == ClassBrowse {
-				d.ctr.Browse++
-			} else {
-				d.ctr.Order++
-			}
+	pr := d.gen.PageBuf(b.it, b.eb, b.imgBuf)
+	b.imgBuf = pr.Images // keep the (possibly grown) backing store
+	b.issued = d.eng.Now()
+	d.site.Request(pr, b.doneFn)
+}
+
+// pageDone records the in-flight interaction's outcome and schedules the
+// next think period.
+func (b *browser) pageDone(ok bool) {
+	d := b.d
+	if ok {
+		d.resp.Add(d.eng.Now() - b.issued)
+		d.ctr.Completed[b.it]++
+		if b.it.Class() == ClassBrowse {
+			d.ctr.Browse++
 		} else {
-			d.ctr.Errors++
+			d.ctr.Order++
 		}
-		// Think, then issue the next interaction. The think timer starts a
-		// new logical unit of work: without the root reset, each browser's
-		// attribution stack would thread through every page it ever loaded.
-		f := d.eng.EnterRoot("browser/think")
-		defer f.Exit()
-		d.eng.Schedule(d.think[eb].Exp(d.opts.ThinkMean), func() { d.browse(eb) })
-	})
+	} else {
+		d.ctr.Errors++
+	}
+	// Think, then issue the next interaction. The think timer starts a
+	// new logical unit of work: without the root reset, each browser's
+	// attribution stack would thread through every page it ever loaded.
+	f := d.eng.EnterRoot("browser/think")
+	defer f.Exit()
+	d.eng.Schedule(d.think[b.eb].Exp(d.opts.ThinkMean), b.thinkFn)
 }
 
 // Counters returns the accumulated counters.

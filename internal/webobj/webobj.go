@@ -94,8 +94,10 @@ func (c *Catalog) Object(id uint64) Object {
 	if id >= c.Total() {
 		panic("webobj: object ID out of range")
 	}
-	// Derive a per-object random source from the ID.
-	src := rng.New(c.sizeSeed ^ (id * 0x9e3779b97f4a7c15) ^ 0xC0FFEE)
+	// Derive a per-object random source from the ID. A stack-allocated
+	// source: object sizes are drawn on every catalog reference, which is
+	// the proxy tier's hot path.
+	src := rng.Seeded(c.sizeSeed ^ (id * 0x9e3779b97f4a7c15) ^ 0xC0FFEE)
 	switch {
 	case id < c.nStatic:
 		// Static pages: 2–30 KB, log-normal-ish.

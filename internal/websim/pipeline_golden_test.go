@@ -1,0 +1,173 @@
+package websim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/simnet"
+	"webharmony/internal/tpcw"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// pipelineFingerprint drives one small simulated site through a fixed
+// scenario and renders every observable the request pipeline produces —
+// page counters, per-interaction counts, response-time statistics,
+// per-tier server stats and the full sim-time-weighted attribution
+// profile — into one deterministic document.
+//
+// The golden recorded from this fingerprint pins the closure-based
+// pipeline's exact behavior: event order, RNG draw order, queueing
+// integrals and profiler contexts. The pooled pageRequest state machine
+// must reproduce it byte-for-byte (see DESIGN.md §7), so any refactor
+// that reorders a Schedule/Submit/Acquire or drops an attribution frame
+// fails this test instead of silently shifting experiment output.
+func pipelineFingerprint(t *testing.T, seed uint64, sessions, churn bool) string {
+	t.Helper()
+	sys := New(Options{
+		ProxyNodes:     2,
+		AppNodes:       2,
+		DBNodes:        2,
+		Scale:          300,
+		Seed:           seed,
+		ProxyDiskBytes: 1 << 20,
+	})
+	prof := simnet.NewProfile()
+	sys.Eng.SetProfile(prof)
+	d := tpcw.NewDriver(sys.Eng, sys, sys.Catalog, tpcw.DriverOptions{
+		Browsers:  60,
+		Workload:  tpcw.Shopping,
+		ThinkMean: 0.5,
+		Seed:      seed ^ 0xfeed,
+		Sessions:  sessions,
+	})
+	d.Start()
+	run := func(until float64) { sys.Eng.RunUntil(until) }
+	run(6)
+	if churn {
+		// Exercise the failure, restart and reconfiguration surfaces with
+		// requests in flight: pooled request state must survive servers
+		// being replaced underneath it.
+		var proxyID, appID int
+		for _, n := range sys.Cluster.TierNodes(cluster.TierProxy) {
+			proxyID = n.ID()
+		}
+		for _, n := range sys.Cluster.TierNodes(cluster.TierApp) {
+			appID = n.ID()
+		}
+		sys.FailNode(proxyID)
+		run(8)
+		sys.FailNode(appID)
+		run(10)
+		sys.Restart()
+		run(12)
+		sys.RecoverNode(proxyID)
+		sys.RecoverNode(appID)
+		run(14)
+		d.SetWorkload(tpcw.Ordering)
+		run(18)
+	} else {
+		run(18)
+	}
+	d.Stop()
+	sys.Eng.Run() // drain in-flight pages
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%.9f pending=%d\n", sys.Eng.Now(), sys.Eng.Pending())
+	fmt.Fprintf(&b, "pages ok=%d fail=%d\n", sys.PagesOK(), sys.PagesFailed())
+	c := d.Counters()
+	fmt.Fprintf(&b, "browse=%d order=%d errors=%d\n", c.Browse, c.Order, c.Errors)
+	for i := 0; i < tpcw.NumInteractions; i++ {
+		fmt.Fprintf(&b, "completed[%02d]=%d\n", i, c.Completed[i])
+	}
+	rt := d.ResponseTimes()
+	fmt.Fprintf(&b, "resp mean=%.12g p50=%.12g p90=%.12g p99=%.12g\n",
+		rt.Mean(), rt.Percentile(50), rt.Percentile(90), rt.Percentile(99))
+	for _, n := range sys.Cluster.Nodes() {
+		fmt.Fprintf(&b, "node %d tier=%v cpu(busy=%.9f done=%d) disk(done=%d) nic(done=%d)\n",
+			n.ID(), n.Tier(), n.CPU().BusyTime(), n.CPU().Completed(),
+			n.Disk().Completed(), n.NIC().Completed())
+		if ps, ok := sys.ProxyStats(n.ID()); ok {
+			fmt.Fprintf(&b, "  proxy hits=%d/%d misses=%d\n", ps.HitsMem, ps.HitsDisk, ps.Misses)
+		}
+		if a, ok := sys.AppServer(n.ID()); ok {
+			as := a.Stats()
+			fmt.Fprintf(&b, "  app acc=%d rejH=%d rejA=%d done=%d\n",
+				as.Accepted, as.RejectedHTTP, as.RejectedAJP, as.Completed)
+		}
+		if dbs, ok := sys.DBServer(n.ID()); ok {
+			ds := dbs.Stats()
+			fmt.Fprintf(&b, "  db q=%d rej=%d reopen=%d spill=%d reads=%d done=%d\n",
+				ds.Queries, ds.RejectedConns, ds.TableReopens, ds.BinlogSpills, ds.DiskReads, ds.Completed)
+		}
+	}
+	b.WriteString("--- profile ---\n")
+	if err := prof.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestPipelineFingerprintGolden locks the request pipeline's observable
+// behavior across a seed matrix — quiet runs, session-graph browsing and
+// mid-flight failure/restart churn — against a checked-in golden recorded
+// before the pooled state-machine refactor. Regenerate (only when an
+// intentional behavior change is being made) with:
+//
+//	go test ./internal/websim/ -run TestPipelineFingerprintGolden -update
+func TestPipelineFingerprintGolden(t *testing.T) {
+	var doc strings.Builder
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, tc := range []struct {
+			name            string
+			sessions, churn bool
+		}{
+			{"steady", false, false},
+			{"sessions", true, false},
+			{"churn", false, true},
+		} {
+			fmt.Fprintf(&doc, "=== seed=%d scenario=%s ===\n", seed, tc.name)
+			doc.WriteString(pipelineFingerprint(t, seed, tc.sessions, tc.churn))
+		}
+	}
+	golden := filepath.Join("testdata", "pipeline_fingerprint.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(doc.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if doc.String() != string(want) {
+		got, exp := doc.String(), string(want)
+		line := 1
+		for i := 0; i < len(got) && i < len(exp); i++ {
+			if got[i] != exp[i] {
+				lo := i - 120
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + 120
+				if hi > len(got) {
+					hi = len(got)
+				}
+				t.Fatalf("pipeline fingerprint diverges from golden at byte %d (line %d):\n got …%q…\nwant …%q…",
+					i, line, got[lo:hi], exp[lo:min(hi, len(exp))])
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("pipeline fingerprint length differs: got %d bytes, golden %d", len(got), len(exp))
+	}
+}

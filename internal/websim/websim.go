@@ -120,6 +120,15 @@ type System struct {
 	lineDone []uint64
 	pageOK   uint64
 	pageFail uint64
+
+	// Free lists recycling the pooled request state machines (pageReq,
+	// objReq) so the steady-state page path allocates no per-request
+	// closures; live counters track records currently in flight so tests
+	// can assert the pools neither leak nor double-free. See DESIGN.md §7.
+	freePages []*pageReq
+	freeObjs  []*objReq
+	livePages int
+	liveObjs  int
 }
 
 // New builds the simulated site.
@@ -400,6 +409,91 @@ func pageFrame(i tpcw.Interaction) string {
 	return pageFrames[i]
 }
 
+// pageReq stages. Each stage names the event whose completion the page is
+// waiting on; pgFree is the recycled sentinel — a dispatch on it means a
+// stale callback fired on a recycled record, and panics rather than
+// corrupting another page's state.
+const (
+	pgFree        int8 = iota
+	pgHTMLRelayed      // proxy relay CPU done → hop to the application tier
+	pgHTMLAtApp        // inter-tier hop done → generate at the app tier
+	pgDBQuery          // hop to the database tier done → issue the query
+	pgDBRelease        // post-query external delay done → release the AJP worker
+	pgHTMLSent         // proxy NIC transmit of the generated page done
+	pgImages           // embedded-image fan-out in flight
+)
+
+// pageReq is one in-flight page request's state: the pooled replacement
+// for the closure chain Request used to build per page (serveHTML →
+// appGenerate → fan-in over serveObject → finishPage). Its callbacks are
+// method values allocated once when the record is first created and reused
+// across recycles, so a steady-state page costs zero closure allocations
+// in this package.
+//
+// Records return to the system's free list before the page's done callback
+// runs (the engine's release-before-callback discipline); gen counts
+// recycles so stress tests can detect a stale callback reaching a reused
+// record.
+type pageReq struct {
+	s    *System
+	pr   tpcw.PageRequest
+	done func(ok bool)
+
+	remaining int  // embedded images still in flight
+	allOK     bool // no component has failed yet
+
+	prx   *proxyServer  // proxy relaying the dynamic page
+	dbSrv *db.Server    // database serving the query leg
+	rel   func(ok bool) // appserver release, held across the database leg
+	relOK bool          // query outcome, carried to the pgDBRelease event
+	stage int8
+	gen   uint32
+
+	stepFn    func()                      // bound step, scheduled per stage advance
+	htmlFn    func(ok bool)               // bound htmlDone, the page-document fan-in
+	objFn     func(ok bool)               // bound objDone, the per-image fan-in
+	servedFn  func(ok bool)               // bound served, the app tier's done
+	queryFn   func(ok bool)               // bound queryDone, the database's done
+	backendFn func(release func(ok bool)) // bound backend, handed to appserver.Serve
+}
+
+// getPage returns a recycled page record, or a fresh one with its
+// callbacks bound.
+func (s *System) getPage(pr tpcw.PageRequest, done func(ok bool)) *pageReq {
+	var r *pageReq
+	if n := len(s.freePages); n > 0 {
+		r = s.freePages[n-1]
+		s.freePages[n-1] = nil
+		s.freePages = s.freePages[:n-1]
+	} else {
+		r = &pageReq{s: s}
+		r.stepFn = r.step
+		r.htmlFn = r.htmlDone
+		r.objFn = r.objDone
+		r.servedFn = r.served
+		r.queryFn = r.queryDone
+		r.backendFn = r.backend
+	}
+	r.pr = pr
+	r.done = done
+	s.livePages++
+	return r
+}
+
+// putPage recycles a page record: references are dropped, the stale-
+// dispatch sentinel armed and the generation bumped.
+func (s *System) putPage(r *pageReq) {
+	r.gen++
+	r.stage = pgFree
+	r.pr = tpcw.PageRequest{}
+	r.done = nil
+	r.prx = nil
+	r.dbSrv = nil
+	r.rel = nil
+	s.livePages--
+	s.freePages = append(s.freePages, r)
+}
+
 // Request implements tpcw.Site: it serves the page HTML and then all
 // embedded images through the tier pipeline. The page succeeds only if
 // every component succeeds.
@@ -408,31 +502,164 @@ func (s *System) Request(pr tpcw.PageRequest, done func(ok bool)) {
 	// attributed under its interaction class.
 	f := s.Eng.EnterRoot(pageFrame(pr.Interaction))
 	defer f.Exit()
-	s.serveHTML(pr, func(htmlOK bool) {
-		if len(pr.Images) == 0 {
-			s.finishPage(pr, htmlOK, done)
-			return
-		}
-		remaining := len(pr.Images)
-		allOK := htmlOK
-		for _, img := range pr.Images {
-			s.serveObject(img, pr.Browser, func(ok bool) {
-				if !ok {
-					allOK = false
-				}
-				remaining--
-				if remaining == 0 {
-					s.finishPage(pr, allOK, done)
-				}
-			})
-		}
-	})
+	s.getPage(pr, done).serveHTML()
 }
 
-func (s *System) finishPage(pr tpcw.PageRequest, ok bool, done func(bool)) {
+// serveHTML serves the page document: static pages go through the cache
+// path, dynamic pages are always forwarded to the application tier, with
+// the database involved per the interaction profile.
+func (r *pageReq) serveHTML() {
+	s := r.s
+	if r.pr.Profile.Static {
+		s.serveObject(r.pr.HTML, r.pr.Browser, r.htmlFn)
+		return
+	}
+	p := s.pickProxy(r.pr.Browser)
+	if p == nil {
+		r.htmlDone(false)
+		return
+	}
+	r.prx = p
+	// The proxy relays the request and the generated response.
+	f := s.Eng.Enter("tier/proxy")
+	defer f.Exit()
+	r.stage = pgHTMLRelayed
+	s.proxyCPU(p, 0, r.pr.HTML.Size, r.stepFn)
+}
+
+// step advances the dynamic-page leg through the same event sequence the
+// closure chain produced.
+func (r *pageReq) step() {
+	s := r.s
+	switch r.stage {
+	case pgHTMLRelayed:
+		xf := s.Eng.Enter("xfer")
+		defer xf.Exit()
+		r.stage = pgHTMLAtApp
+		s.Eng.Schedule(interTierLatency, r.stepFn)
+	case pgHTMLAtApp:
+		// Generate the page on the application tier, with the database
+		// involved per the interaction profile.
+		a := s.pickApp(r.pr.Browser)
+		if a == nil {
+			r.served(false)
+			return
+		}
+		var backend func(release func(ok bool))
+		if r.pr.Profile.DB != tpcw.DBNone {
+			backend = r.backendFn
+		}
+		extra := 0.0
+		if r.pr.Profile.DB == tpcw.DBWrite {
+			extra = txnPageExtraCPU
+		}
+		af := s.Eng.Enter("tier/app")
+		defer af.Exit()
+		a.Serve(r.pr.HTML.Size, extra, backend, r.servedFn)
+	case pgDBQuery:
+		kind := db.QueryRead
+		switch r.pr.Profile.DB {
+		case tpcw.DBJoin:
+			kind = db.QueryJoin
+		case tpcw.DBWrite:
+			kind = db.QueryWrite
+		}
+		df := s.Eng.Enter("tier/db")
+		defer df.Exit()
+		r.dbSrv.Query(kind, r.pr.Profile.DBResultKB<<10, r.queryFn)
+	case pgDBRelease:
+		rel := r.rel
+		r.rel = nil
+		rel(r.relOK)
+	case pgHTMLSent:
+		r.htmlDone(true)
+	default:
+		panic("websim: page request stepped after release")
+	}
+}
+
+// backend is the database leg the application server runs on its AJP
+// worker (appserver.Serve's backend argument).
+func (r *pageReq) backend(release func(ok bool)) {
+	s := r.s
+	d := s.pickDB(r.pr.Browser)
+	if d == nil {
+		release(false)
+		return
+	}
+	r.dbSrv = d
+	r.rel = release
+	xf := s.Eng.Enter("xfer")
+	defer xf.Exit()
+	r.stage = pgDBQuery
+	s.Eng.Schedule(interTierLatency, r.stepFn)
+}
+
+// queryDone receives the database outcome. External services (the TPC-W
+// payment gateway on Buy Confirm) run after the transaction, while the
+// application server still holds its worker threads.
+func (r *pageReq) queryDone(ok bool) {
+	if r.stage != pgDBQuery {
+		panic("websim: query completion on a settled page request")
+	}
+	r.relOK = ok
+	r.stage = pgDBRelease
+	r.s.Eng.Schedule(interTierLatency+r.pr.Profile.ExtDelaySec, r.stepFn)
+}
+
+// served receives the application tier's outcome for the generated page;
+// on success the proxy relays the response to the browser.
+func (r *pageReq) served(ok bool) {
+	if !ok {
+		r.htmlDone(false)
+		return
+	}
+	r.stage = pgHTMLSent
+	r.prx.node.NIC().Submit(r.prx.node.NetDemand(r.pr.HTML.Size), r.stepFn)
+}
+
+// htmlDone is the page-document fan-in: once the HTML has settled, fan out
+// over the embedded images (even after an HTML failure, as a browser
+// would) or finish an imageless page.
+func (r *pageReq) htmlDone(ok bool) {
+	s := r.s
+	if len(r.pr.Images) == 0 {
+		r.finish(ok)
+		return
+	}
+	r.remaining = len(r.pr.Images)
+	r.allOK = ok
+	r.stage = pgImages
+	for _, img := range r.pr.Images {
+		s.serveObject(img, r.pr.Browser, r.objFn)
+	}
+}
+
+// objDone is the per-image fan-in.
+func (r *pageReq) objDone(ok bool) {
+	if r.stage != pgImages {
+		panic("websim: image completion on a settled page request")
+	}
+	if !ok {
+		r.allOK = false
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		r.finish(r.allOK)
+	}
+}
+
+// finish accounts the page outcome and reports it. The record is recycled
+// before done runs, so a completion chain that synchronously issues new
+// work can reuse it immediately.
+func (r *pageReq) finish(ok bool) {
+	s := r.s
+	done := r.done
+	eb := r.pr.Browser
+	s.putPage(r)
 	if ok {
 		s.pageOK++
-		if line := s.lineFor(pr.Browser); line >= 0 {
+		if line := s.lineFor(eb); line >= 0 {
 			s.lineDone[line]++
 		}
 	} else {
@@ -441,82 +668,64 @@ func (s *System) finishPage(pr tpcw.PageRequest, ok bool, done func(bool)) {
 	done(ok)
 }
 
-// serveHTML serves the page document: static pages go through the cache
-// path, dynamic pages are always forwarded to the application tier, with
-// the database involved per the interaction profile.
-func (s *System) serveHTML(pr tpcw.PageRequest, done func(ok bool)) {
-	if pr.Profile.Static {
-		s.serveObject(pr.HTML, pr.Browser, done)
-		return
-	}
-	p := s.pickProxy(pr.Browser)
-	if p == nil {
-		done(false)
-		return
-	}
-	// The proxy relays the request and the generated response.
-	f := s.Eng.Enter("tier/proxy")
-	defer f.Exit()
-	s.proxyCPU(p, 0, pr.HTML.Size, func() {
-		xf := s.Eng.Enter("xfer")
-		defer xf.Exit()
-		s.Eng.Schedule(interTierLatency, func() {
-			s.appGenerate(pr, func(ok bool) {
-				if !ok {
-					done(false)
-					return
-				}
-				p.node.NIC().Submit(p.node.NetDemand(pr.HTML.Size), func() { done(true) })
-			})
-		})
-	})
+// objReq stages, named like the pageReq stages.
+const (
+	objFree      int8 = iota
+	objMemCPU         // memory-hit lookup CPU done → transmit
+	objDiskCPU        // disk-hit lookup CPU done → store open/copy CPU
+	objDiskCheck      // store CPU done → OS page-cache draw
+	objDiskRead       // physical disk read done → transmit
+	objMissCPU        // miss lookup CPU done → hop to the application tier
+	objMissAtApp      // inter-tier hop done → fetch from the origin
+	objSent           // proxy NIC transmit done → complete
+)
+
+// objReq is one in-flight cacheable-object request's state (a static page
+// or embedded image served by the proxy tier): the pooled replacement for
+// serveObject's closure chains, with the same lifecycle as pageReq.
+type objReq struct {
+	s     *System
+	o     webobj.Object
+	eb    int
+	p     *proxyServer
+	done  func(ok bool)
+	stage int8
+	gen   uint32
+
+	stepFn   func()        // bound step, scheduled per stage advance
+	servedFn func(ok bool) // bound served, the origin fetch's done
 }
 
-// appGenerate runs the dynamic-page generation on the application tier,
-// calling into the database tier as the profile requires.
-func (s *System) appGenerate(pr tpcw.PageRequest, done func(ok bool)) {
-	a := s.pickApp(pr.Browser)
-	if a == nil {
-		done(false)
-		return
+// getObj returns a recycled object record, or a fresh one with its
+// callbacks bound.
+func (s *System) getObj(o webobj.Object, eb int, p *proxyServer, done func(ok bool)) *objReq {
+	var r *objReq
+	if n := len(s.freeObjs); n > 0 {
+		r = s.freeObjs[n-1]
+		s.freeObjs[n-1] = nil
+		s.freeObjs = s.freeObjs[:n-1]
+	} else {
+		r = &objReq{s: s}
+		r.stepFn = r.step
+		r.servedFn = r.served
 	}
-	var backend func(release func(ok bool))
-	if pr.Profile.DB != tpcw.DBNone {
-		backend = func(release func(ok bool)) {
-			d := s.pickDB(pr.Browser)
-			if d == nil {
-				release(false)
-				return
-			}
-			kind := db.QueryRead
-			switch pr.Profile.DB {
-			case tpcw.DBJoin:
-				kind = db.QueryJoin
-			case tpcw.DBWrite:
-				kind = db.QueryWrite
-			}
-			xf := s.Eng.Enter("xfer")
-			defer xf.Exit()
-			s.Eng.Schedule(interTierLatency, func() {
-				df := s.Eng.Enter("tier/db")
-				defer df.Exit()
-				d.Query(kind, pr.Profile.DBResultKB<<10, func(ok bool) {
-					// External services (the TPC-W payment gateway on Buy
-					// Confirm) run after the transaction, while the
-					// application server still holds its worker threads.
-					delay := interTierLatency + pr.Profile.ExtDelaySec
-					s.Eng.Schedule(delay, func() { release(ok) })
-				})
-			})
-		}
-	}
-	extra := 0.0
-	if pr.Profile.DB == tpcw.DBWrite {
-		extra = txnPageExtraCPU
-	}
-	af := s.Eng.Enter("tier/app")
-	defer af.Exit()
-	a.Serve(pr.HTML.Size, extra, backend, done)
+	r.o = o
+	r.eb = eb
+	r.p = p
+	r.done = done
+	s.liveObjs++
+	return r
+}
+
+// putObj recycles an object record.
+func (s *System) putObj(r *objReq) {
+	r.gen++
+	r.stage = objFree
+	r.o = webobj.Object{}
+	r.p = nil
+	r.done = nil
+	s.liveObjs--
+	s.freeObjs = append(s.freeObjs, r)
 }
 
 // serveObject serves one cacheable object (static page or image) from the
@@ -527,52 +736,85 @@ func (s *System) serveObject(o webobj.Object, eb int, done func(ok bool)) {
 		done(false)
 		return
 	}
+	r := s.getObj(o, eb, p, done)
 	f := s.Eng.Enter("tier/proxy")
 	defer f.Exit()
 	res, scan := p.cache.Lookup(o)
 	switch res {
 	case proxy.HitMem:
-		s.proxyCPU(p, scan, o.Size, func() {
-			p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
-		})
+		r.stage = objMemCPU
 	case proxy.HitDisk:
+		r.stage = objDiskCPU
+	default: // Miss: fetch from the origin (application tier), then admit.
+		r.stage = objMissCPU
+	}
+	s.proxyCPU(p, scan, o.Size, r.stepFn)
+}
+
+// step advances the object through the same event sequence the closure
+// chains produced for the hit, disk-hit and miss paths.
+func (r *objReq) step() {
+	s := r.s
+	switch r.stage {
+	case objMemCPU:
+		r.stage = objSent
+		r.p.node.NIC().Submit(r.p.node.NetDemand(r.o.Size), r.stepFn)
+	case objDiskCPU:
 		// Disk hits pay extra CPU (open/copy from the store) on top of the
 		// lookup cost; most are then absorbed by the OS page cache, and
 		// only the rest touch the physical disk.
-		s.proxyCPU(p, scan, o.Size, func() {
-			p.node.CPU().Submit(diskHitExtraCPU, func() {
-				if s.src.Bernoulli(osPageCacheHit) {
-					p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
-					return
-				}
-				p.node.Disk().Submit(p.node.DiskDemand(o.Size), func() {
-					p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
-				})
-			})
-		})
-	default: // Miss: fetch from the origin (application tier), then admit.
-		s.proxyCPU(p, scan, o.Size, func() {
-			xf := s.Eng.Enter("xfer")
-			defer xf.Exit()
-			s.Eng.Schedule(interTierLatency, func() {
-				a := s.pickApp(eb)
-				if a == nil {
-					done(false)
-					return
-				}
-				af := s.Eng.Enter("tier/app")
-				defer af.Exit()
-				a.Serve(o.Size, 0, nil, func(ok bool) {
-					if !ok {
-						done(false)
-						return
-					}
-					p.cache.Admit(o)
-					p.node.NIC().Submit(p.node.NetDemand(o.Size), func() { done(true) })
-				})
-			})
-		})
+		r.stage = objDiskCheck
+		r.p.node.CPU().Submit(diskHitExtraCPU, r.stepFn)
+	case objDiskCheck:
+		if s.src.Bernoulli(osPageCacheHit) {
+			r.stage = objSent
+			r.p.node.NIC().Submit(r.p.node.NetDemand(r.o.Size), r.stepFn)
+			return
+		}
+		r.stage = objDiskRead
+		r.p.node.Disk().Submit(r.p.node.DiskDemand(r.o.Size), r.stepFn)
+	case objDiskRead:
+		r.stage = objSent
+		r.p.node.NIC().Submit(r.p.node.NetDemand(r.o.Size), r.stepFn)
+	case objMissCPU:
+		xf := s.Eng.Enter("xfer")
+		defer xf.Exit()
+		r.stage = objMissAtApp
+		s.Eng.Schedule(interTierLatency, r.stepFn)
+	case objMissAtApp:
+		a := s.pickApp(r.eb)
+		if a == nil {
+			r.complete(false)
+			return
+		}
+		af := s.Eng.Enter("tier/app")
+		defer af.Exit()
+		a.Serve(r.o.Size, 0, nil, r.servedFn)
+	case objSent:
+		r.complete(true)
+	default:
+		panic("websim: object request stepped after release")
 	}
+}
+
+// served receives the origin fetch's outcome; on success the object is
+// admitted to the cache and transmitted.
+func (r *objReq) served(ok bool) {
+	if !ok {
+		r.complete(false)
+		return
+	}
+	r.p.cache.Admit(r.o)
+	r.stage = objSent
+	r.p.node.NIC().Submit(r.p.node.NetDemand(r.o.Size), r.stepFn)
+}
+
+// complete reports the object outcome, recycling the record first.
+func (r *objReq) complete(ok bool) {
+	s := r.s
+	done := r.done
+	s.putObj(r)
+	done(ok)
 }
 
 // proxyCPU charges the proxy's per-request CPU: protocol handling, the

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# check_bench.sh [bench-log]
+#
+# Allocation regression gate. Reads a `go test -bench ... -benchmem` log
+# (or produces one itself when no argument is given) and fails if any
+# benchmark pinned in scripts/bench_baseline.txt reports more than 10%
+# more allocs/op than its recorded baseline. Allocation counts for the
+# deterministic simulation benchmarks don't vary with machine speed, so
+# a trip means the code really did start allocating more — update the
+# baseline only in the PR that deliberately changes the cost.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=scripts/bench_baseline.txt
+log=${1:-}
+
+if [ -n "$log" ]; then
+  out=$(cat "$log")
+else
+  out=$(go test -run '^$' -bench 'BenchmarkFigure5Responsiveness' \
+    -benchtime 1x -benchmem .)
+  echo "$out"
+fi
+
+fail=0
+while read -r name base; do
+  case "$name" in ''|\#*) continue ;; esac
+  # Benchmark result lines look like:
+  #   BenchmarkFoo[-8]  1  123 ns/op  456 B/op  789 allocs/op
+  line=$(echo "$out" | grep -E "^$name(-[0-9]+)?[[:space:]]" || true)
+  if [ -z "$line" ]; then
+    echo "FAIL bench: no result for $name in log (run with -benchmem?)" >&2
+    fail=1
+    continue
+  fi
+  allocs=$(echo "$line" | sed -n 's/.*[[:space:]]\([0-9]*\) allocs\/op.*/\1/p')
+  if [ -z "$allocs" ]; then
+    echo "FAIL bench: no allocs/op figure for $name in: $line" >&2
+    fail=1
+    continue
+  fi
+  if ! awk -v a="$allocs" -v b="$base" 'BEGIN{exit !(a <= b * 1.10)}'; then
+    echo "FAIL bench: $name at $allocs allocs/op exceeds baseline $base by >10%" >&2
+    fail=1
+  else
+    echo "ok bench: $name at $allocs allocs/op (baseline $base, ceiling +10%)"
+  fi
+done < "$baseline"
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench check failed; baselines are in $baseline" >&2
+  exit 1
+fi
+echo "bench check passed (baselines: $baseline)"
