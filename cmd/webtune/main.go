@@ -68,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace      = fs.String("trace", "", "write the tuner step trace (one JSON line per simplex move, restart or node move) to this file")
 		metrics    = fs.String("metrics", "", "write the per-tier metrics timeseries (utilization, queues, hit ratio, pools) as CSV to this file")
 		simprofile = fs.String("simprofile", "", "write the simnet event-loop profile as folded stacks (flamegraph.pl/speedscope input) to this file and print a rollup; byte-identical at any -workers")
+		latency    = fs.String("latency", "", "write per-(interaction, tier) latency histograms with exact queue-vs-service attribution windows as CSV to this file and print a bottleneck rollup; byte-identical at any -workers")
+		spansOut   = fs.String("spans", "", "write sampled per-request span trees (one JSON line per sampled page) to this file; byte-identical at any -workers")
+		spanEvery  = fs.Int("span-sample", 997, "with -spans, dump every n-th page's span tree (deterministic systematic sample)")
 	)
 	usage := func() {
 		fmt.Fprintln(stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|sweep|all>")
@@ -136,8 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceFile   *os.File
 		metricsFile *os.File
 		profFile    *os.File
+		latencyFile *os.File
+		spansFile   *os.File
 	)
-	if *trace != "" || *metrics != "" || *simprofile != "" {
+	if *trace != "" || *metrics != "" || *simprofile != "" || *latency != "" || *spansOut != "" {
 		collector = webharmony.NewTelemetryCollector()
 		cfg.Telemetry = collector
 		if *trace != "" {
@@ -156,6 +161,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cfg.SimProfile = true
 			if profFile, err = os.Create(*simprofile); err != nil {
 				fmt.Fprintf(stderr, "webtune: -simprofile: %v\n", err)
+				return 2
+			}
+		}
+		if *latency != "" {
+			cfg.Spans = true
+			if latencyFile, err = os.Create(*latency); err != nil {
+				fmt.Fprintf(stderr, "webtune: -latency: %v\n", err)
+				return 2
+			}
+		}
+		if *spansOut != "" {
+			cfg.Spans = true
+			cfg.SpanSampleEvery = *spanEvery
+			if spansFile, err = os.Create(*spansOut); err != nil {
+				fmt.Fprintf(stderr, "webtune: -spans: %v\n", err)
 				return 2
 			}
 		}
@@ -390,6 +410,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := collector.WriteSimProfileRollup(stdout); err != nil {
 			fmt.Fprintf(stderr, "webtune: -simprofile: %v\n", err)
+			return 1
+		}
+	}
+	if latencyFile != nil {
+		err := collector.WriteLatency(latencyFile)
+		if cerr := latencyFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "webtune: -latency: %v\n", err)
+			return 1
+		}
+		if err := collector.WriteLatencyRollup(stdout); err != nil {
+			fmt.Fprintf(stderr, "webtune: -latency: %v\n", err)
+			return 1
+		}
+	}
+	if spansFile != nil {
+		err := collector.WriteSpans(spansFile)
+		if cerr := spansFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "webtune: -spans: %v\n", err)
 			return 1
 		}
 	}

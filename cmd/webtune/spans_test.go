@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureSpans drives the CLI with -latency and -spans into a fresh
+// directory and returns both files' contents plus stdout.
+func captureSpans(t *testing.T, workers int, args ...string) (latency, spans, stdout string) {
+	t.Helper()
+	dir := t.TempDir()
+	latencyPath := filepath.Join(dir, "latency.csv")
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	full := append([]string{
+		"-workers", fmt.Sprint(workers),
+		"-latency", latencyPath, "-spans", spansPath, "-span-sample", "4999",
+	}, args...)
+	code, out, stderr := runCLI(t, full...)
+	if code != 0 {
+		t.Fatalf("webtune %s: exit code %d, stderr: %s", strings.Join(full, " "), code, stderr)
+	}
+	lb, err := os.ReadFile(latencyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(lb), string(sb), out
+}
+
+// TestGoldenSpans locks the -latency CSV and -spans JSONL of the tiny
+// figure7a run against golden files, asserts both are byte-identical
+// across -workers 1, 4 and 8 (the span layer's determinism contract), and
+// checks the attribution report names the application tier — the
+// pre-reconfiguration hot tier of Figure 7(a) — as the top queue-wait
+// contributor.
+// Regenerate with: go test ./cmd/webtune/ -run TestGoldenSpans -update
+func TestGoldenSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation golden test")
+	}
+	args := []string{"-scale", "tiny", "-iters", "4", "figure7a"}
+	latency, spans, stdout := captureSpans(t, 1, args...)
+
+	for _, g := range []struct{ name, got string }{
+		{"figure7a-latency.golden", latency},
+		{"figure7a-spans.golden", spans},
+	} {
+		golden := filepath.Join("testdata", g.name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, []byte(g.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with -update): %v", err)
+		}
+		if g.got != string(want) {
+			t.Errorf("%s differs from golden (regenerate with -update if the change is intended)", g.name)
+		}
+	}
+
+	// Figure 7(a) starts app-bound (4 proxy / 2 app / 1 db under the
+	// ordering shift); the bottleneck rollup must say so.
+	if !strings.Contains(stdout, "queue-wait app") {
+		t.Errorf("bottleneck rollup does not rank app first:\n%s", stdout)
+	}
+	// The attribution section ties windows to iterations.
+	if !strings.Contains(latency, "# attribution") {
+		t.Error("latency output missing the attribution section")
+	}
+
+	for _, workers := range []int{4, 8} {
+		lw, sw, _ := captureSpans(t, workers, args...)
+		if lw != latency {
+			t.Errorf("-latency differs between -workers 1 and -workers %d", workers)
+		}
+		if sw != spans {
+			t.Errorf("-spans differs between -workers 1 and -workers %d", workers)
+		}
+	}
+}
+
+// TestGoldenSpansFigure4 pins worker-count byte-equality on the fan-out
+// heavy figure4 run too: every matrix cell is its own lab with its own
+// sink, merged in (replicate, unit) order.
+func TestGoldenSpansFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation golden test")
+	}
+	args := []string{"-scale", "tiny", "-iters", "4", "figure4"}
+	latency, spans, _ := captureSpans(t, 1, args...)
+	if !strings.HasPrefix(latency, "replicate,unit,interaction,tier,kind,") {
+		t.Fatalf("unexpected latency header: %q", strings.SplitN(latency, "\n", 2)[0])
+	}
+	l4, s4, _ := captureSpans(t, 4, args...)
+	if l4 != latency {
+		t.Error("-latency differs between -workers 1 and -workers 4")
+	}
+	if s4 != spans {
+		t.Error("-spans differs between -workers 1 and -workers 4")
+	}
+}
+
+// TestSpanSinkFailFast asserts an uncreatable -latency/-spans path aborts
+// before any simulation starts.
+func TestSpanSinkFailFast(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-dir")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"latency", []string{"-latency", filepath.Join(missing, "l.csv"), "table1"}, "-latency"},
+		{"spans", []string{"-spans", filepath.Join(missing, "s.jsonl"), "table1"}, "-spans"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Errorf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr = %q, want it to name %q", stderr, tc.want)
+			}
+			if strings.Contains(stdout, "===") {
+				t.Errorf("experiment ran despite the bad sink; stdout: %q", stdout)
+			}
+		})
+	}
+}
+
+// TestSpanFlagsShortSmoke is the short-mode companion of the golden
+// tests: one tiny figure7a run with both span outputs, cheap enough for
+// the -short coverage job, asserting the files materialize with the
+// expected schema and the rollup reaches stdout.
+func TestSpanFlagsShortSmoke(t *testing.T) {
+	dir := t.TempDir()
+	latencyPath := filepath.Join(dir, "latency.csv")
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	code, stdout, stderr := runCLI(t,
+		"-scale", "tiny", "-iters", "2",
+		"-latency", latencyPath, "-spans", spansPath, "-span-sample", "997",
+		"figure7a")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	lb, err := os.ReadFile(latencyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(lb), "replicate,unit,interaction,tier,kind,") {
+		t.Errorf("latency.csv header wrong: %q", strings.SplitN(string(lb), "\n", 2)[0])
+	}
+	if !strings.Contains(string(lb), "# attribution") {
+		t.Error("latency.csv missing attribution section")
+	}
+	sb, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sb), "\"spans\":") {
+		t.Error("spans.jsonl has no span rows")
+	}
+	if !strings.Contains(stdout, "queue-wait") {
+		t.Errorf("stdout missing latency rollup: %q", stdout)
+	}
+}

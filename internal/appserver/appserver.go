@@ -140,13 +140,16 @@ type Server struct {
 
 // New creates an application server on the given node.
 func New(eng *simnet.Engine, node *cluster.Node, cfg Config, cost CostModel) *Server {
-	return &Server{
+	s := &Server{
 		cfg:  cfg,
 		cost: cost,
 		node: node,
 		http: simnet.NewTokenPool(eng, node.Name()+".http", int(cfg.MaxProcessors), int(cfg.AcceptCount)),
 		ajp:  simnet.NewTokenPool(eng, node.Name()+".ajp", int(cfg.AJPMaxProcessors), int(cfg.AJPAcceptCount)),
 	}
+	s.http.SetSpanSite(cluster.SpanSiteAppHTTPPool)
+	s.ajp.SetSpanSite(cluster.SpanSiteAppAJPPool)
+	return s
 }
 
 // Config returns the server's configuration.

@@ -75,6 +75,97 @@ func (r Resource) String() string {
 	}
 }
 
+// Span attribution sites: the per-request span layer (simnet's SpanBuf)
+// records which resource each segment of a request's timeline was spent
+// at, as an opaque uint8. This is the cluster-wide vocabulary for those
+// sites — tier resources (assigned to node stations by tier, updated when
+// a node moves tiers) plus the tier servers' pools and the inter-tier
+// hops. Site 0 is simnet's reserved "unattributed" site.
+const (
+	// SpanSiteNone is unattributed time (simnet's residual site).
+	SpanSiteNone uint8 = iota
+	SpanSiteProxyCPU
+	SpanSiteProxyDisk
+	SpanSiteProxyNIC
+	SpanSiteAppCPU
+	SpanSiteAppDisk
+	SpanSiteAppNIC
+	SpanSiteAppHTTPPool // Tomcat HTTP connector accept queue / processors
+	SpanSiteAppAJPPool  // Tomcat AJP servlet-worker pool
+	SpanSiteDBCPU
+	SpanSiteDBDisk
+	SpanSiteDBNIC
+	SpanSiteDBConnPool   // MySQL max_connections listener
+	SpanSiteDBThreadPool // MySQL thread_concurrency gate
+	SpanSiteXfer         // inter-tier LAN hop
+	SpanSiteExt          // external services (TPC-W payment gateway)
+	numSpanSites
+)
+
+// NumSpanSites is the number of defined span sites.
+const NumSpanSites = int(numSpanSites)
+
+// spanSiteNames indexes site → exported name, in site order.
+var spanSiteNames = [NumSpanSites]string{
+	"other",
+	"proxy.cpu", "proxy.disk", "proxy.nic",
+	"app.cpu", "app.disk", "app.nic", "app.http", "app.ajp",
+	"db.cpu", "db.disk", "db.nic", "db.conns", "db.threads",
+	"xfer", "ext",
+}
+
+// SpanSiteName returns the site's exported name ("proxy.cpu", "xfer", ...).
+func SpanSiteName(site uint8) string {
+	if int(site) >= NumSpanSites {
+		return "unknown"
+	}
+	return spanSiteNames[site]
+}
+
+// Span attribution groups: sites rolled up to the granularity bottleneck
+// reports rank — the three tiers, the network, external services and the
+// unattributed residual.
+const (
+	SpanGroupProxy uint8 = iota
+	SpanGroupApp
+	SpanGroupDB
+	SpanGroupNet
+	SpanGroupExt
+	SpanGroupOther
+	numSpanGroups
+)
+
+// NumSpanGroups is the number of span attribution groups.
+const NumSpanGroups = int(numSpanGroups)
+
+// spanSiteGroups indexes site → group, in site order.
+var spanSiteGroups = [NumSpanSites]uint8{
+	SpanGroupOther,
+	SpanGroupProxy, SpanGroupProxy, SpanGroupProxy,
+	SpanGroupApp, SpanGroupApp, SpanGroupApp, SpanGroupApp, SpanGroupApp,
+	SpanGroupDB, SpanGroupDB, SpanGroupDB, SpanGroupDB, SpanGroupDB,
+	SpanGroupNet, SpanGroupExt,
+}
+
+// SpanSiteGroup returns the attribution group a site rolls up to.
+func SpanSiteGroup(site uint8) uint8 {
+	if int(site) >= NumSpanSites {
+		return SpanGroupOther
+	}
+	return spanSiteGroups[site]
+}
+
+// spanGroupNames indexes group → exported name, in group order.
+var spanGroupNames = [NumSpanGroups]string{"proxy", "app", "db", "net", "ext", "other"}
+
+// SpanGroupName returns the group's exported name.
+func SpanGroupName(g uint8) string {
+	if int(g) >= NumSpanGroups {
+		return "unknown"
+	}
+	return spanGroupNames[g]
+}
+
 // Hardware describes a node's physical capacities.
 type Hardware struct {
 	Cores       int     // CPU cores (paper: dual processors)
@@ -117,7 +208,7 @@ func NewNode(eng *simnet.Engine, id int, tier Tier, hw Hardware) *Node {
 		panic("cluster: invalid hardware")
 	}
 	name := fmt.Sprintf("node%d", id)
-	return &Node{
+	n := &Node{
 		id:   id,
 		name: name,
 		hw:   hw,
@@ -127,6 +218,25 @@ func NewNode(eng *simnet.Engine, id int, tier Tier, hw Hardware) *Node {
 		nic:  simnet.NewStation(eng, name+".nic", 1, 1.0),
 		eng:  eng,
 	}
+	n.applySpanSites()
+	return n
+}
+
+// applySpanSites points the node's stations at the span sites of its
+// current tier, so latency attribution follows reconfiguration moves.
+func (n *Node) applySpanSites() {
+	var cpu, disk, nic uint8
+	switch n.tier {
+	case TierProxy:
+		cpu, disk, nic = SpanSiteProxyCPU, SpanSiteProxyDisk, SpanSiteProxyNIC
+	case TierApp:
+		cpu, disk, nic = SpanSiteAppCPU, SpanSiteAppDisk, SpanSiteAppNIC
+	case TierDB:
+		cpu, disk, nic = SpanSiteDBCPU, SpanSiteDBDisk, SpanSiteDBNIC
+	}
+	n.cpu.SetSpanSite(cpu)
+	n.disk.SetSpanSite(disk)
+	n.nic.SetSpanSite(nic)
 }
 
 // ID returns the node's identifier.
@@ -138,9 +248,13 @@ func (n *Node) Name() string { return n.name }
 // Tier returns the node's current tier.
 func (n *Node) Tier() Tier { return n.tier }
 
-// SetTier reassigns the node to another tier (the reconfiguration move).
+// SetTier reassigns the node to another tier (the reconfiguration move),
+// re-pointing its stations' span sites so attribution follows the move.
 // The caller is responsible for draining or migrating in-flight work.
-func (n *Node) SetTier(t Tier) { n.tier = t }
+func (n *Node) SetTier(t Tier) {
+	n.tier = t
+	n.applySpanSites()
+}
 
 // Hardware returns the node's hardware description.
 func (n *Node) Hardware() Hardware { return n.hw }

@@ -188,3 +188,75 @@ func TestSlowdownMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpanSiteVocabulary(t *testing.T) {
+	seen := make(map[string]bool)
+	for site := 0; site < NumSpanSites; site++ {
+		name := SpanSiteName(uint8(site))
+		if name == "" || name == "unknown" {
+			t.Errorf("site %d has no name", site)
+		}
+		if seen[name] {
+			t.Errorf("duplicate site name %q", name)
+		}
+		seen[name] = true
+		g := SpanSiteGroup(uint8(site))
+		if int(g) >= NumSpanGroups {
+			t.Errorf("site %q maps to out-of-range group %d", name, g)
+		}
+		if gn := SpanGroupName(g); gn == "" || gn == "unknown" {
+			t.Errorf("group %d of site %q has no name", g, name)
+		}
+	}
+	if got := SpanSiteName(uint8(NumSpanSites)); got != "unknown" {
+		t.Errorf("SpanSiteName(out of range) = %q, want \"unknown\"", got)
+	}
+	if got := SpanSiteGroup(uint8(NumSpanSites)); got != SpanGroupOther {
+		t.Errorf("SpanSiteGroup(out of range) = %d, want other", got)
+	}
+	if got := SpanGroupName(uint8(NumSpanGroups)); got != "unknown" {
+		t.Errorf("SpanGroupName(out of range) = %q, want \"unknown\"", got)
+	}
+	// The reserved unattributed site rolls up to "other".
+	if SpanSiteName(SpanSiteNone) != "other" || SpanSiteGroup(SpanSiteNone) != SpanGroupOther {
+		t.Error("site 0 must be the unattributed residual")
+	}
+}
+
+// TestSpanSitesFollowTier runs one job through a node's CPU before and
+// after a tier move and asserts the recorded attribution site follows the
+// move — the property the bottleneck report depends on during §IV
+// reconfigurations.
+func TestSpanSitesFollowTier(t *testing.T) {
+	eng := newEngine()
+	n := NewNode(eng, 0, TierProxy, DefaultHardware())
+
+	runOne := func() simnet.SpanSeg {
+		var buf simnet.SpanBuf
+		eng.Schedule(0, func() {
+			buf.Begin(eng.NowTicks())
+			prev := eng.SetSpan(&buf)
+			n.CPU().Submit(0.001, func() { buf.CloseAt(eng.NowTicks()) })
+			eng.SetSpan(prev)
+		})
+		eng.Run()
+		if len(buf.Segs) != 1 {
+			t.Fatalf("got %d segments, want 1", len(buf.Segs))
+		}
+		return buf.Segs[0]
+	}
+
+	if seg := runOne(); seg.Site != SpanSiteProxyCPU {
+		t.Errorf("proxy-tier CPU seg at site %s, want proxy.cpu", SpanSiteName(seg.Site))
+	}
+	n.SetTier(TierDB)
+	if seg := runOne(); seg.Site != SpanSiteDBCPU {
+		t.Errorf("after move, CPU seg at site %s, want db.cpu", SpanSiteName(seg.Site))
+	}
+	if n.Disk() == nil || n.NIC() == nil || n.Hardware() != DefaultHardware() {
+		t.Error("node accessors broken")
+	}
+	if n.ID() != 0 || n.Name() == "" {
+		t.Errorf("node identity broken: id %d name %q", n.ID(), n.Name())
+	}
+}

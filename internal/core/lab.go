@@ -65,6 +65,16 @@ type LabConfig struct {
 	// telemetry, profiling never changes what a run measures — labels ride
 	// along with events without reordering anything or touching any RNG.
 	SimProfile bool `json:"-"`
+
+	// Spans attaches the per-request span layer to every lab built from
+	// this configuration (requires Telemetry, like SimProfile): each page
+	// records an exact queue-vs-service latency decomposition folded into
+	// the lab's span sink, snapshotted once per iteration window for the
+	// attribution report. SpanSampleEvery > 0 additionally dumps every
+	// n-th page's full span tree. Spans, too, never change what a run
+	// measures.
+	Spans           bool `json:"-"`
+	SpanSampleEvery int  `json:"-"`
 }
 
 // WithTelemetryUnit returns a copy of the configuration whose telemetry
@@ -144,8 +154,9 @@ type Lab struct {
 	lastReadings []monitor.Reading
 	iterations   int
 
-	rec     *telemetry.Recorder
-	sampler *telemetry.Sampler
+	rec      *telemetry.Recorder
+	sampler  *telemetry.Sampler
+	spanSink *websim.SpanSink
 }
 
 // NewLab builds the simulated cluster and client population.
@@ -176,6 +187,11 @@ func NewLab(cfg LabConfig, w tpcw.Workload) *Lab {
 			p := simnet.NewProfile()
 			sys.Eng.SetProfile(p)
 			lab.rec.AttachSimProfile(p)
+		}
+		if cfg.Spans {
+			lab.spanSink = websim.NewSpanSink(cfg.SpanSampleEvery)
+			sys.SetSpanSink(lab.spanSink)
+			lab.rec.AttachSpans(lab.spanSink)
 		}
 	}
 	return lab
@@ -307,6 +323,12 @@ func (l *Lab) MeasureIteration(restart bool) websim.Measurement {
 	l.lastReadings = l.Mon.Collect()
 	eng.RunUntil(eng.Now() + l.Cfg.Cool)
 	l.iterations++
+	if l.spanSink != nil {
+		// Close the attribution window at the iteration boundary, so the
+		// -latency report can tie queue-wait shares to tuner steps and
+		// reconfiguration moves.
+		l.spanSink.Snapshot(l.iterations, eng.Now())
+	}
 	return m
 }
 

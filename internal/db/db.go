@@ -194,7 +194,7 @@ type Server struct {
 // stochastic parts of the cost model (cache misses, transaction sizes).
 func New(eng *simnet.Engine, node *cluster.Node, cfg Config, cost CostModel, src *rng.Source) *Server {
 	backlog := int(cfg.MaxConnections) // listen backlog beyond the limit
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cost:    cost,
 		node:    node,
@@ -202,6 +202,9 @@ func New(eng *simnet.Engine, node *cluster.Node, cfg Config, cost CostModel, src
 		threads: simnet.NewTokenPool(eng, node.Name()+".threads", int(cfg.ThreadConcurrency), -1),
 		src:     src,
 	}
+	s.conns.SetSpanSite(cluster.SpanSiteDBConnPool)
+	s.threads.SetSpanSite(cluster.SpanSiteDBThreadPool)
+	return s
 }
 
 // Config returns the server's configuration.

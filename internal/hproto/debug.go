@@ -52,10 +52,12 @@ func (s *Server) liveSessions() int {
 }
 
 // DebugHandler returns the server's runtime-introspection endpoints:
-// /debug/vars with the protocol counters as expvar-style JSON, and the
-// net/http/pprof profiling pages under /debug/pprof/. Serve it on a side
-// listener (harmonyd -debug-addr); it is deliberately not merged into the
-// tuning protocol port.
+// /debug/vars with the protocol counters as expvar-style JSON,
+// /debug/latency with per-operation wall-clock dispatch histograms
+// (count, mean and deterministic log-bucket percentiles in microseconds),
+// and the net/http/pprof profiling pages under /debug/pprof/. Serve it on
+// a side listener (harmonyd -debug-addr); it is deliberately not merged
+// into the tuning protocol port.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
@@ -82,6 +84,28 @@ func (s *Server) DebugHandler() http.Handler {
 				comma = ""
 			}
 			fmt.Fprintf(w, "%q: %s%s\n", k, vars[k], comma)
+		}
+		fmt.Fprintf(w, "}\n")
+	})
+	mux.HandleFunc("/debug/latency", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.latencySnapshot()
+		ops := make([]string, 0, len(snap))
+		for op := range snap {
+			ops = append(ops, string(op))
+		}
+		sort.Strings(ops)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		for i, op := range ops {
+			h := snap[Op(op)]
+			comma := ","
+			if i == len(ops)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(w,
+				"%q: {\"count\": %d, \"mean_us\": %.1f, \"p50_us\": %d, \"p95_us\": %d, \"p99_us\": %d, \"max_us\": %d}%s\n",
+				op, h.N(), h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max(), comma)
 		}
 		fmt.Fprintf(w, "}\n")
 	})

@@ -122,6 +122,96 @@ func TestDebugHandlerCounters(t *testing.T) {
 	}
 }
 
+// TestDebugLatencyHistograms drives the protocol and asserts /debug/latency
+// reports a per-operation histogram with consistent summary statistics.
+func TestDebugLatencyHistograms(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	web := httptest.NewServer(srv.DebugHandler())
+	defer web.Close()
+
+	fetch := func() map[string]struct {
+		Count  int64   `json:"count"`
+		MeanUS float64 `json:"mean_us"`
+		P50US  int64   `json:"p50_us"`
+		P95US  int64   `json:"p95_us"`
+		P99US  int64   `json:"p99_us"`
+		MaxUS  int64   `json:"max_us"`
+	} {
+		t.Helper()
+		resp, err := http.Get(web.URL + "/debug/latency")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]struct {
+			Count  int64   `json:"count"`
+			MeanUS float64 `json:"mean_us"`
+			P50US  int64   `json:"p50_us"`
+			P95US  int64   `json:"p95_us"`
+			P99US  int64   `json:"p99_us"`
+			MaxUS  int64   `json:"max_us"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("bad /debug/latency JSON %q: %v", body, err)
+		}
+		return out
+	}
+
+	if got := fetch(); len(got) != 0 {
+		t.Fatalf("/debug/latency before any request = %v, want empty", got)
+	}
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defs := []param.Def{{Name: "threads", Min: 1, Max: 64, Default: 8, Step: 1}}
+	if err := c.Register("web", defs, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if _, _, err := c.Next("web"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Report("web", float64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lat := fetch()
+	if got, ok := lat["register"]; !ok || got.Count != 1 {
+		t.Errorf("register histogram = %+v, want count 1", got)
+	}
+	for _, op := range []string{"next", "report"} {
+		h, ok := lat[op]
+		if !ok {
+			t.Fatalf("missing op %q in /debug/latency: %v", op, lat)
+		}
+		if h.Count != rounds {
+			t.Errorf("%s count = %d, want %d", op, h.Count, rounds)
+		}
+		if h.P50US > h.P95US || h.P95US > h.P99US || h.P99US > h.MaxUS {
+			t.Errorf("%s quantiles not monotone: %+v", op, h)
+		}
+		if h.MeanUS < 0 {
+			t.Errorf("%s mean_us = %f, want >= 0", op, h.MeanUS)
+		}
+	}
+	if _, ok := lat["best"]; ok {
+		t.Error("/debug/latency reports an op that was never dispatched")
+	}
+}
+
 // TestDebugHandlerDrainState checks the lifecycle phases land in
 // /debug/vars: running -> closed via Close, with DrainClose reporting the
 // same terminal state.

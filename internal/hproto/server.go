@@ -12,6 +12,7 @@ import (
 
 	"webharmony/internal/harmony"
 	"webharmony/internal/param"
+	"webharmony/internal/stats"
 )
 
 // Server is a network-facing Active Harmony tuning server. Sessions are
@@ -29,6 +30,12 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	stats serverStats // runtime counters, exposed via DebugHandler
+
+	// Per-operation wall-clock dispatch latency, the real-path twin of
+	// the simulator's span histograms: same log-bucketed stats.LatencyHist,
+	// observed in microseconds, exposed via /debug/latency.
+	latMu sync.Mutex
+	lat   map[Op]*stats.LatencyHist
 }
 
 type sessionState struct {
@@ -48,6 +55,7 @@ func NewServer(addr string) (*Server, error) {
 		ln:       ln,
 		sessions: make(map[string]*sessionState),
 		conns:    make(map[net.Conn]struct{}),
+		lat:      make(map[Op]*stats.LatencyHist),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -169,7 +177,9 @@ func (s *Server) handle(conn net.Conn) {
 		if req, err := DecodeRequest(line); err != nil {
 			resp = Errorf("bad request: %v", err)
 		} else {
+			t0 := time.Now()
 			resp = s.dispatch(req)
+			s.observeLatency(req.Op, time.Since(t0).Microseconds())
 		}
 		out, err := EncodeLine(resp)
 		if err != nil {
@@ -200,6 +210,29 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 		}
 		return line, err
 	}
+}
+
+// observeLatency folds one dispatch duration into the op's histogram.
+func (s *Server) observeLatency(op Op, us int64) {
+	s.latMu.Lock()
+	h := s.lat[op]
+	if h == nil {
+		h = new(stats.LatencyHist)
+		s.lat[op] = h
+	}
+	h.Observe(us)
+	s.latMu.Unlock()
+}
+
+// latencySnapshot copies the per-op histograms for lock-free reporting.
+func (s *Server) latencySnapshot() map[Op]stats.LatencyHist {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	out := make(map[Op]stats.LatencyHist, len(s.lat))
+	for op, h := range s.lat {
+		out[op] = *h
+	}
+	return out
 }
 
 func (s *Server) get(name string) (*sessionState, bool) {

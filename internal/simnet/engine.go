@@ -29,6 +29,11 @@ type Engine struct {
 	// during dispatch inherit it. All of it is inert until SetProfile.
 	prof *Profile
 	ctx  string
+
+	// curSpan is the span buffer of the request whose event is being
+	// dispatched (span.go); events scheduled during dispatch inherit it.
+	// Inert (nil) until a request begins a span.
+	curSpan *SpanBuf
 }
 
 // event is a scheduled callback. Records are recycled through Engine.free;
@@ -39,7 +44,8 @@ type event struct {
 	seq   uint64
 	fn    func()
 	gen   uint64
-	label string // attribution stack (profiling runs only)
+	label string   // attribution stack (profiling runs only)
+	span  *SpanBuf // span context of the submitting request (span runs only)
 }
 
 // compactMin is the minimum number of dead events before Cancel considers
@@ -138,6 +144,7 @@ func (t *Timer) Cancel() {
 	}
 	ev.fn = nil // drop the closure (and everything it captured) now
 	ev.label = ""
+	ev.span = nil
 	e := t.eng
 	e.canceled++
 	if e.canceled >= compactMin && e.canceled*2 > len(e.events) {
@@ -180,6 +187,7 @@ func (e *Engine) alloc() *event {
 func (e *Engine) release(ev *event) {
 	ev.fn = nil
 	ev.label = ""
+	ev.span = nil
 	ev.gen++
 	e.free = append(e.free, ev)
 }
@@ -197,6 +205,7 @@ func (e *Engine) Schedule(delay float64, fn func()) Timer {
 	ev.at = e.now + delay
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.span = e.curSpan
 	if e.prof != nil {
 		ev.label = e.ctx
 	}
@@ -234,13 +243,16 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		fn := ev.fn
+		span := ev.span
 		if e.prof != nil {
 			e.prof.record(ev.label, ev.at-e.now)
 			e.ctx = ev.label
 		}
 		e.now = ev.at
 		e.release(ev)
+		e.curSpan = span
 		fn()
+		e.curSpan = nil
 		if e.prof != nil {
 			e.ctx = ""
 		}

@@ -13,6 +13,8 @@ type Station struct {
 	servers int
 	speed   float64 // service rate multiplier; demand/speed = service time
 
+	site uint8 // span attribution site (span.go); 0 = unattributed
+
 	busy       int
 	queue      []stationJob
 	busyTime   float64 // integral of busy servers dt, up to lastStamp
@@ -35,7 +37,8 @@ type Station struct {
 type stationJob struct {
 	demand float64
 	done   func()
-	label  string // attribution stack captured at Submit (profiling runs)
+	label  string   // attribution stack captured at Submit (profiling runs)
+	span   *SpanBuf // submitter's span, captured at Submit (span runs)
 }
 
 // svcRecord is one in-service job's completion state. fire is allocated
@@ -46,6 +49,7 @@ type svcRecord struct {
 	st   *Station
 	done func()
 	fire func()
+	span *SpanBuf // submitter's span, stamped with the service segment
 }
 
 // getSvc returns a recycled service record, or a fresh one.
@@ -66,8 +70,13 @@ func (s *Station) getSvc(done func()) *svcRecord {
 // putSvc recycles a service record, dropping its callback reference.
 func (s *Station) putSvc(r *svcRecord) {
 	r.done = nil
+	r.span = nil
 	s.freeSvc = append(s.freeSvc, r)
 }
+
+// SetSpanSite assigns the station's span attribution site; segments the
+// station records carry it (span.go).
+func (s *Station) SetSpanSite(site uint8) { s.site = site }
 
 // NewStation creates a station with the given number of parallel servers.
 // speed scales service times: a job with demand d takes d/speed seconds.
@@ -120,20 +129,27 @@ func (s *Station) Submit(demand float64, done func()) {
 	if s.eng.prof != nil {
 		label = appendFrame(s.eng.ctx, s.name+"/svc")
 	}
+	span := s.eng.curSpan
 	if s.busy < s.servers {
-		s.start(demand, done, label)
+		s.start(demand, done, label, span)
 		return
 	}
-	s.queue = append(s.queue, stationJob{demand: demand, done: done, label: label})
+	s.queue = append(s.queue, stationJob{demand: demand, done: done, label: label, span: span})
 	if len(s.queue) > s.queuedPeak {
 		s.queuedPeak = len(s.queue)
 	}
 }
 
-func (s *Station) start(demand float64, done func(), label string) {
+func (s *Station) start(demand float64, done func(), label string, span *SpanBuf) {
 	s.stamp()
 	s.busy++
-	s.eng.scheduleLabeled(demand/s.speed, label, s.getSvc(done).fire)
+	if span != nil {
+		// Whatever elapsed since Submit was time in this station's queue.
+		span.Mark(s.site, SpanQueue, s.eng.NowTicks())
+	}
+	r := s.getSvc(done)
+	r.span = span
+	s.eng.scheduleSpanned(demand/s.speed, label, span, r.fire)
 }
 
 // complete finishes one job's service: the record is recycled first, then
@@ -142,6 +158,9 @@ func (s *Station) start(demand float64, done func(), label string) {
 // unchanged.
 func (s *Station) complete(r *svcRecord) {
 	done := r.done
+	if r.span != nil {
+		r.span.Mark(s.site, SpanService, s.eng.NowTicks())
+	}
 	s.putSvc(r)
 	s.stamp()
 	s.busy--
@@ -151,7 +170,7 @@ func (s *Station) complete(r *svcRecord) {
 		copy(s.queue, s.queue[1:])
 		s.queue[len(s.queue)-1] = stationJob{} // release the closure
 		s.queue = s.queue[:len(s.queue)-1]
-		s.start(next.demand, next.done, next.label)
+		s.start(next.demand, next.done, next.label, next.span)
 	}
 	if done != nil {
 		done()
@@ -239,7 +258,8 @@ type TokenPool struct {
 	eng      *Engine
 	name     string
 	capacity int
-	maxWait  int // -1 means unbounded
+	maxWait  int   // -1 means unbounded
+	site     uint8 // span attribution site (span.go); 0 = unattributed
 
 	inUse    int
 	waiters  []waiter
@@ -253,8 +273,9 @@ type TokenPool struct {
 // stack captured when the request started waiting, so the eventual grant
 // is charged to the acquirer, not to whichever event released the token.
 type waiter struct {
-	fn  func()
-	ctx string
+	fn   func()
+	ctx  string
+	span *SpanBuf // acquirer's span, stamped with the wait when granted
 }
 
 // NewTokenPool creates a pool of capacity tokens whose wait queue holds at
@@ -268,6 +289,10 @@ func NewTokenPool(eng *Engine, name string, capacity, maxWait int) *TokenPool {
 
 // Name returns the pool's diagnostic name.
 func (p *TokenPool) Name() string { return p.name }
+
+// SetSpanSite assigns the pool's span attribution site; the wait segments
+// it records carry it (span.go).
+func (p *TokenPool) SetSpanSite(site uint8) { p.site = site }
 
 // Capacity returns the number of tokens.
 func (p *TokenPool) Capacity() int { return p.capacity }
@@ -310,7 +335,7 @@ func (p *TokenPool) Acquire(onGrant func(), onReject func()) {
 		}
 		return
 	}
-	w := waiter{fn: onGrant}
+	w := waiter{fn: onGrant, span: p.eng.curSpan}
 	if p.eng.prof != nil {
 		w.ctx = appendFrame(p.eng.ctx, p.name+"/grant")
 	}
@@ -347,7 +372,15 @@ func (p *TokenPool) grantWaiters() {
 		p.waiters = p.waiters[:len(p.waiters)-1]
 		p.inUse++
 		p.granted++
-		if e := p.eng; e.prof != nil {
+		e := p.eng
+		if w.span != nil {
+			// The time since Acquire queued is this pool's wait; the grant
+			// callback runs under the waiter's span, not the releaser's.
+			w.span.Mark(p.site, SpanQueue, e.NowTicks())
+		}
+		savedSpan := e.curSpan
+		e.curSpan = w.span
+		if e.prof != nil {
 			saved := e.ctx
 			e.ctx = w.ctx
 			w.fn()
@@ -355,6 +388,7 @@ func (p *TokenPool) grantWaiters() {
 		} else {
 			w.fn()
 		}
+		e.curSpan = savedSpan
 	}
 	p.granting = false
 }

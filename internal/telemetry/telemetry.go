@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"webharmony/internal/simnet"
+	"webharmony/internal/websim"
 )
 
 // Event is one trace record: a tuner step, a reconfiguration move or a
@@ -73,6 +74,7 @@ type Recorder struct {
 	events    []Event
 	samples   []Sample
 	simProf   *simnet.Profile
+	spans     *websim.SpanSink
 }
 
 // Event appends a trace event, stamping the recorder's replicate and unit.
@@ -258,6 +260,9 @@ func (c *Collector) WriteSimProfileRollup(w io.Writer) error {
 func (c *Collector) Empty() bool {
 	for _, r := range c.sorted() {
 		if len(r.events) > 0 || len(r.samples) > 0 || !r.simProf.Empty() {
+			return false
+		}
+		if r.spans != nil && r.spans.Pages() > 0 {
 			return false
 		}
 	}

@@ -14,7 +14,6 @@ package websim
 
 import (
 	"fmt"
-	"strings"
 
 	"webharmony/internal/appserver"
 	"webharmony/internal/cluster"
@@ -129,6 +128,10 @@ type System struct {
 	freeObjs  []*objReq
 	livePages int
 	liveObjs  int
+
+	// spanSink, when set, receives every completed page's span tree for
+	// latency attribution (span.go). Nil keeps span recording fully inert.
+	spanSink *SpanSink
 }
 
 // New builds the simulated site.
@@ -391,12 +394,11 @@ func (s *System) pickDB(eb int) *db.Server {
 // pageFrames precomputes the "page/<interaction>" attribution frame for
 // every TPC-W interaction. Interaction names contain spaces ("New
 // Products"); folded-stack frames cannot (space separates stack from
-// weight), so names are lowercased and dashed.
+// weight), so the slug form is used.
 var pageFrames = func() [tpcw.NumInteractions]string {
 	var out [tpcw.NumInteractions]string
 	for i := range out {
-		name := strings.ToLower(tpcw.Interaction(i).String())
-		out[i] = "page/" + strings.ReplaceAll(name, " ", "-")
+		out[i] = "page/" + tpcw.Interaction(i).Slug()
 	}
 	return out
 }()
@@ -448,6 +450,14 @@ type pageReq struct {
 	relOK bool          // query outcome, carried to the pgDBRelease event
 	stage int8
 	gen   uint32
+
+	// span is the page's latency span, recorded only when the system has a
+	// span sink; its storage is recycled with the record. critKid tracks the
+	// current critical-path candidate among captured children: during the
+	// parallel image fan-out, captures arrive in completion order, so the
+	// latest capture is the child whose chain ends the page.
+	span    simnet.SpanBuf
+	critKid int
 
 	stepFn    func()                      // bound step, scheduled per stage advance
 	htmlFn    func(ok bool)               // bound htmlDone, the page-document fan-in
@@ -502,7 +512,13 @@ func (s *System) Request(pr tpcw.PageRequest, done func(ok bool)) {
 	// attributed under its interaction class.
 	f := s.Eng.EnterRoot(pageFrame(pr.Interaction))
 	defer f.Exit()
-	s.getPage(pr, done).serveHTML()
+	r := s.getPage(pr, done)
+	if s.spanSink != nil {
+		r.span.Begin(s.Eng.NowTicks())
+		r.critKid = -1
+		s.Eng.SetSpan(&r.span)
+	}
+	r.serveHTML()
 }
 
 // serveHTML serves the page document: static pages go through the cache
@@ -511,7 +527,7 @@ func (s *System) Request(pr tpcw.PageRequest, done func(ok bool)) {
 func (r *pageReq) serveHTML() {
 	s := r.s
 	if r.pr.Profile.Static {
-		s.serveObject(r.pr.HTML, r.pr.Browser, r.htmlFn)
+		s.serveObject(r.pr.HTML, r, r.htmlFn)
 		return
 	}
 	p := s.pickProxy(r.pr.Browser)
@@ -538,6 +554,9 @@ func (r *pageReq) step() {
 		r.stage = pgHTMLAtApp
 		s.Eng.Schedule(interTierLatency, r.stepFn)
 	case pgHTMLAtApp:
+		// The inter-tier hop just finished; attribute it before the
+		// application tier starts marking.
+		r.span.Mark(cluster.SpanSiteXfer, simnet.SpanService, s.Eng.NowTicks())
 		// Generate the page on the application tier, with the database
 		// involved per the interaction profile.
 		a := s.pickApp(r.pr.Browser)
@@ -557,6 +576,7 @@ func (r *pageReq) step() {
 		defer af.Exit()
 		a.Serve(r.pr.HTML.Size, extra, backend, r.servedFn)
 	case pgDBQuery:
+		r.span.Mark(cluster.SpanSiteXfer, simnet.SpanService, s.Eng.NowTicks())
 		kind := db.QueryRead
 		switch r.pr.Profile.DB {
 		case tpcw.DBJoin:
@@ -568,6 +588,13 @@ func (r *pageReq) step() {
 		defer df.Exit()
 		r.dbSrv.Query(kind, r.pr.Profile.DBResultKB<<10, r.queryFn)
 	case pgDBRelease:
+		// The return hop and any external-service delay (payment gateway)
+		// ran together in one timer; split them at the delay boundary so
+		// ext time is not misread as network time. Both marks telescope, so
+		// the decomposition stays exact regardless of where the cut rounds.
+		r.span.Mark(cluster.SpanSiteXfer, simnet.SpanService,
+			simnet.Ticks(s.Eng.Now()-r.pr.Profile.ExtDelaySec))
+		r.span.Mark(cluster.SpanSiteExt, simnet.SpanService, s.Eng.NowTicks())
 		rel := r.rel
 		r.rel = nil
 		rel(r.relOK)
@@ -631,7 +658,7 @@ func (r *pageReq) htmlDone(ok bool) {
 	r.allOK = ok
 	r.stage = pgImages
 	for _, img := range r.pr.Images {
-		s.serveObject(img, r.pr.Browser, r.objFn)
+		s.serveObject(img, r, r.objFn)
 	}
 }
 
@@ -654,6 +681,12 @@ func (r *pageReq) objDone(ok bool) {
 // work can reuse it immediately.
 func (r *pageReq) finish(ok bool) {
 	s := r.s
+	if s.spanSink != nil && r.span.Active() {
+		// Fold the span before the record is recycled; the sink also
+		// detaches the engine's span context so work scheduled by done
+		// (think timers) belongs to no request.
+		s.spanSink.page(r, ok)
+	}
 	done := r.done
 	eb := r.pr.Browser
 	s.putPage(r)
@@ -692,8 +725,35 @@ type objReq struct {
 	stage int8
 	gen   uint32
 
+	// span is the object's latency span; pg is the page whose span tree it
+	// folds into on completion, non-nil only while recording. label carries
+	// the cache outcome (objCache*) into the folded child span.
+	span  simnet.SpanBuf
+	pg    *pageReq
+	label uint8
+
 	stepFn   func()        // bound step, scheduled per stage advance
 	servedFn func(ok bool) // bound served, the origin fetch's done
+}
+
+// Cache-outcome labels carried on folded object spans.
+const (
+	objCacheNone uint8 = iota // page documents, unrecorded objects
+	objCacheMem               // proxy memory hit
+	objCacheDisk              // proxy disk-store hit
+	objCacheMiss              // fetched from the origin
+)
+
+// objCacheNames indexes label → exported name, in label order.
+var objCacheNames = [...]string{"", "hit-mem", "hit-disk", "miss"}
+
+// ObjCacheName returns the exported name of a folded child span's cache
+// label ("" for page documents).
+func ObjCacheName(label uint8) string {
+	if int(label) >= len(objCacheNames) {
+		return "unknown"
+	}
+	return objCacheNames[label]
 }
 
 // getObj returns a recycled object record, or a fresh one with its
@@ -724,13 +784,17 @@ func (s *System) putObj(r *objReq) {
 	r.o = webobj.Object{}
 	r.p = nil
 	r.done = nil
+	r.pg = nil
+	r.label = objCacheNone
 	s.liveObjs--
 	s.freeObjs = append(s.freeObjs, r)
 }
 
-// serveObject serves one cacheable object (static page or image) from the
-// proxy tier, fetching from the application tier on a miss.
-func (s *System) serveObject(o webobj.Object, eb int, done func(ok bool)) {
+// serveObject serves one cacheable object (the static page document or an
+// embedded image) of page pg from the proxy tier, fetching from the
+// application tier on a miss.
+func (s *System) serveObject(o webobj.Object, pg *pageReq, done func(ok bool)) {
+	eb := pg.pr.Browser
 	p := s.pickProxy(eb)
 	if p == nil {
 		done(false)
@@ -739,16 +803,30 @@ func (s *System) serveObject(o webobj.Object, eb int, done func(ok bool)) {
 	r := s.getObj(o, eb, p, done)
 	f := s.Eng.Enter("tier/proxy")
 	defer f.Exit()
+	var prevSpan *simnet.SpanBuf
+	if pg.span.Active() {
+		// The object records its own span (it may overlap siblings in the
+		// image fan-out) and folds it into the page's tree on completion.
+		r.pg = pg
+		r.span.Begin(s.Eng.NowTicks())
+		prevSpan = s.Eng.SetSpan(&r.span)
+	}
 	res, scan := p.cache.Lookup(o)
 	switch res {
 	case proxy.HitMem:
 		r.stage = objMemCPU
+		r.label = objCacheMem
 	case proxy.HitDisk:
 		r.stage = objDiskCPU
+		r.label = objCacheDisk
 	default: // Miss: fetch from the origin (application tier), then admit.
 		r.stage = objMissCPU
+		r.label = objCacheMiss
 	}
 	s.proxyCPU(p, scan, o.Size, r.stepFn)
+	if r.pg != nil {
+		s.Eng.SetSpan(prevSpan)
+	}
 }
 
 // step advances the object through the same event sequence the closure
@@ -782,6 +860,7 @@ func (r *objReq) step() {
 		r.stage = objMissAtApp
 		s.Eng.Schedule(interTierLatency, r.stepFn)
 	case objMissAtApp:
+		r.span.Mark(cluster.SpanSiteXfer, simnet.SpanService, s.Eng.NowTicks())
 		a := s.pickApp(r.eb)
 		if a == nil {
 			r.complete(false)
@@ -809,12 +888,35 @@ func (r *objReq) served(ok bool) {
 	r.p.node.NIC().Submit(r.p.node.NetDemand(r.o.Size), r.stepFn)
 }
 
-// complete reports the object outcome, recycling the record first.
+// complete reports the object outcome, folding the span into its page and
+// recycling the record first.
 func (r *objReq) complete(ok bool) {
 	s := r.s
 	done := r.done
+	if r.pg != nil {
+		r.pg.captureChild(&r.span, ok, r.label)
+	}
 	s.putObj(r)
 	done(ok)
+}
+
+// captureChild folds a completed object's span into the page's tree and
+// maintains the critical-path marking: during the parallel image fan-out
+// the latest capture (completion order is time order) supersedes the
+// previous candidate; a sequential child (the static page document) is
+// always critical.
+func (r *pageReq) captureChild(c *simnet.SpanBuf, ok bool, label uint8) {
+	if !r.span.Active() {
+		return
+	}
+	i := r.span.AddChild(c, r.s.Eng.NowTicks(), ok, label)
+	if r.stage == pgImages {
+		if r.critKid >= 0 {
+			r.span.SetCritical(r.critKid, false)
+		}
+		r.critKid = i
+	}
+	r.span.SetCritical(i, true)
 }
 
 // proxyCPU charges the proxy's per-request CPU: protocol handling, the

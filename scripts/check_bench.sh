@@ -1,17 +1,30 @@
 #!/usr/bin/env bash
 # check_bench.sh [bench-log]
 #
-# Allocation regression gate. Reads a `go test -bench ... -benchmem` log
-# (or produces one itself when no argument is given) and fails if any
-# benchmark pinned in scripts/bench_baseline.txt reports more than 10%
-# more allocs/op than its recorded baseline. Allocation counts for the
-# deterministic simulation benchmarks don't vary with machine speed, so
-# a trip means the code really did start allocating more — update the
-# baseline only in the PR that deliberately changes the cost.
+# Benchmark regression gate + machine-readable trajectory. Reads a
+# `go test -bench ... -benchmem` log (or produces one itself when no
+# argument is given) and:
+#
+#   1. fails if any benchmark pinned in scripts/bench_baseline.txt
+#      reports more than 10% more allocs/op than its recorded baseline —
+#      allocation counts for the deterministic simulation benchmarks
+#      don't vary with machine speed, so a trip means the code really
+#      did start allocating more;
+#   2. fails if a pinned ns/op baseline is exceeded by more than 2.0x —
+#      a deliberately loose margin that absorbs machine-speed spread
+#      across CI runners while still catching order-of-magnitude
+#      regressions of the event-loop and pooled-pipeline wins;
+#   3. writes every benchmark result in the log to BENCH_9.json
+#      (override the path with $BENCH_JSON) as
+#      `name -> {ns_op, allocs_op, bytes_op}`, so the perf history is
+#      tracked across PRs, not just gated.
+#
+# Update baselines only in the PR that deliberately changes the cost.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=scripts/bench_baseline.txt
+json_out=${BENCH_JSON:-BENCH_9.json}
 log=${1:-}
 
 if [ -n "$log" ]; then
@@ -22,11 +35,32 @@ else
   echo "$out"
 fi
 
+# Benchmark result lines look like:
+#   BenchmarkFoo[-8]  1  123 ns/op [4.0 extra_metric]  456 B/op  789 allocs/op
+# Emit the machine-readable trajectory first so it exists even when a
+# gate below trips (CI uploads it either way).
+echo "$out" | awk '
+  BEGIN { print "{"; n = 0 }
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      if ($i == "B/op") bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s, \"bytes_op\": %s}", \
+      name, ns, (allocs == "" ? "null" : allocs), (bytes == "" ? "null" : bytes)
+  }
+  END { if (n) printf "\n"; print "}" }
+' > "$json_out"
+echo "bench trajectory: $(grep -c 'ns_op' "$json_out") results -> $json_out"
+
 fail=0
-while read -r name base; do
+while read -r name base base_ns; do
   case "$name" in ''|\#*) continue ;; esac
-  # Benchmark result lines look like:
-  #   BenchmarkFoo[-8]  1  123 ns/op  456 B/op  789 allocs/op
   line=$(echo "$out" | grep -E "^$name(-[0-9]+)?[[:space:]]" || true)
   if [ -z "$line" ]; then
     echo "FAIL bench: no result for $name in log (run with -benchmem?)" >&2
@@ -44,6 +78,18 @@ while read -r name base; do
     fail=1
   else
     echo "ok bench: $name at $allocs allocs/op (baseline $base, ceiling +10%)"
+  fi
+  if [ -n "$base_ns" ]; then
+    ns=$(echo "$line" | sed -n 's/.*[[:space:]]\([0-9][0-9]*\) ns\/op.*/\1/p')
+    if [ -z "$ns" ]; then
+      echo "FAIL bench: no ns/op figure for $name in: $line" >&2
+      fail=1
+    elif ! awk -v a="$ns" -v b="$base_ns" 'BEGIN{exit !(a <= b * 2.0)}'; then
+      echo "FAIL bench: $name at $ns ns/op exceeds baseline $base_ns by >2.0x" >&2
+      fail=1
+    else
+      echo "ok bench: $name at $ns ns/op (baseline $base_ns, ceiling 2.0x)"
+    fi
   fi
 done < "$baseline"
 
