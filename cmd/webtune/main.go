@@ -29,6 +29,11 @@
 // mean ± σ ± Student-t 95% CI) and the sweep grid
 // (-sweep "browsers=400,550;think=0.3,0.6"). Results are bit-for-bit
 // identical at any -workers value; see -help.
+//
+// Evaluations are hermetic and memoized by default (-memo): exact
+// configuration repeats are served from a content-addressed cache with
+// no observable difference. -evalstats prints the cache counters,
+// -evalcache FILE persists the cache across runs.
 package main
 
 import (
@@ -71,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		latency    = fs.String("latency", "", "write per-(interaction, tier) latency histograms with exact queue-vs-service attribution windows as CSV to this file and print a bottleneck rollup; byte-identical at any -workers")
 		spansOut   = fs.String("spans", "", "write sampled per-request span trees (one JSON line per sampled page) to this file; byte-identical at any -workers")
 		spanEvery  = fs.Int("span-sample", 997, "with -spans, dump every n-th page's span tree (deterministic systematic sample)")
+		memo       = fs.Bool("memo", true, "memoize hermetic evaluations in a content-addressed cache; results are byte-identical with and without it (bypassed while telemetry flags are active)")
+		cacheFile  = fs.String("evalcache", "", "persist the evaluation cache to this JSON file: load it before the run if it exists, save it after (warm-starts later runs)")
+		evalStats  = fs.Bool("evalstats", false, "print the evaluation-cache counters (lookups, hits, misses, entries, bytes, hit rate) after the run")
 	)
 	usage := func() {
 		fmt.Fprintln(stderr, "usage: webtune [flags] <table1|sec3a|figure4|table3|figure5|table4|figure7a|figure7b|adaptive|sweep|all>")
@@ -96,6 +104,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	cfg.Sessions = *sessions
 	cfg.Workers = *workers
+
+	// The evaluation cache only skips exact re-simulations, so it is on by
+	// default; -evalcache warm-starts it from (and saves it back to) disk.
+	var cache *webharmony.EvalCache
+	if *memo || *cacheFile != "" {
+		cache = webharmony.NewEvalCache()
+		cfg.EvalCache = cache
+	}
+	if *cacheFile != "" {
+		data, err := os.ReadFile(*cacheFile)
+		switch {
+		case err == nil:
+			snap, err := webharmony.LoadEvalCacheSnapshot(data)
+			if err != nil {
+				fmt.Fprintf(stderr, "webtune: -evalcache: %v\n", err)
+				return 2
+			}
+			cache.AddSnapshot(snap)
+		case !os.IsNotExist(err):
+			fmt.Fprintf(stderr, "webtune: -evalcache: %v\n", err)
+			return 2
+		}
+	}
 	n := *iters
 	if n == 0 {
 		n = defIters
@@ -377,6 +408,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return webharmony.WriteSweepCSV(w, res)
 		})
 	})
+
+	// Settle the evaluation cache first: save the snapshot, report the
+	// counters, and hand them to the telemetry collector for export.
+	if cache != nil {
+		if collector != nil {
+			collector.SetEvalStats(webharmony.TelemetryEvalStats(cache.Stats()))
+		}
+		if *cacheFile != "" {
+			data, err := cache.Snapshot().Marshal()
+			if err == nil {
+				err = os.WriteFile(*cacheFile, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "webtune: -evalcache: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if *evalStats {
+		switch {
+		case cache == nil:
+			fmt.Fprintln(stdout, "evalcache off (-memo=false)")
+		default:
+			if collector != nil {
+				// Memoization is bypassed while telemetry is attached (a hit
+				// would skip per-evaluation recorder registration), so the
+				// counters only reflect uninstrumented evaluations — none,
+				// for a fully instrumented run.
+				fmt.Fprintln(stdout, "evalcache bypassed while telemetry is attached")
+			}
+			if err := webharmony.WriteEvalStats(stdout, cache.Stats()); err != nil {
+				fmt.Fprintf(stderr, "webtune: -evalstats: %v\n", err)
+				return 1
+			}
+		}
+	}
 
 	// Flush the telemetry sinks last, once every experiment has finished.
 	if traceFile != nil {

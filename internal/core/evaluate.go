@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"webharmony/internal/cluster"
+	"webharmony/internal/evalcache"
+	"webharmony/internal/harmony"
+	"webharmony/internal/param"
+	"webharmony/internal/rng"
+	"webharmony/internal/tpcw"
+	"webharmony/internal/websim"
+)
+
+// This file is the hermetic evaluation engine (DESIGN.md §10): every
+// configuration evaluation the sequential experiment runners make —
+// tuning iterations, baseline windows, Figure 4 matrix cells, tuned-sweep
+// arms — runs in a fresh per-evaluation lab whose rng streams derive from
+// the evaluation's canonical key (the node configurations, workload, lab
+// shape, window lengths and base seed). The measurement is therefore a
+// pure function of that key:
+//
+//   - re-proposing an already-measured lattice point (integer rounding,
+//     simplex shrink steps near convergence, post-restart re-anchoring)
+//     reproduces the earlier measurement exactly, so the content-addressed
+//     memo table in internal/evalcache can return the stored value with
+//     zero observable difference — cache on/off is byte-identical *by
+//     construction*, not by test luck;
+//   - the per-config (not per-step) streams are a common-random-numbers
+//     discipline: two configurations are always compared under streams
+//     that depend only on themselves, never on when they were proposed.
+//
+// Live-cluster paths keep their history: RunFigure7/RunAdaptive measure a
+// continuously-running system whose node moves and cache states are the
+// object of study, so they stay on Lab.MeasureIteration.
+
+// evalSpec assembles the canonical key inputs of one evaluation from the
+// lab configuration. Telemetry/profiling fields and Workers are excluded:
+// they never change what a run measures.
+func evalSpec(cfg LabConfig, w tpcw.Workload, nodeCfgs map[int]param.Config) evalcache.Spec {
+	return evalcache.Spec{
+		ProxyNodes: cfg.ProxyNodes,
+		AppNodes:   cfg.AppNodes,
+		DBNodes:    cfg.DBNodes,
+		WorkLines:  cfg.WorkLines,
+		Browsers:   cfg.Browsers,
+		ThinkMean:  cfg.ThinkMean,
+		Scale:      cfg.Scale,
+		Sessions:   cfg.Sessions,
+		Warm:       cfg.Warm,
+		Measure:    cfg.Measure,
+		Cool:       cfg.Cool,
+		Seed:       cfg.Seed,
+		Workload:   w.String(),
+		Nodes:      nodeCfgs,
+	}
+}
+
+// EvalConfig measures one node→configuration assignment hermetically: a
+// fresh lab is built from the parent's configuration with rng streams
+// seeded from the evaluation key, the configurations are staged, and one
+// warm/measure/cool window runs. Nodes absent from nodeCfgs keep their
+// space defaults (the runners always pass complete assignments).
+//
+// When the parent configuration carries an EvalCache, the evaluation is
+// memoized under its key. Memoization is bypassed while telemetry is
+// attached: a cache hit would skip the per-evaluation recorder/sampler
+// registration and change the telemetry byte stream, and instrumented
+// runs are for inspection, not wall-clock. Results are identical either
+// way — an evaluation is a pure function of its key.
+func (l *Lab) EvalConfig(w tpcw.Workload, nodeCfgs map[int]param.Config, unit string) websim.Measurement {
+	key := evalSpec(l.Cfg, w, nodeCfgs).Key()
+	compute := func() websim.Measurement {
+		cfg := telemetrySub(l.Cfg, unit)
+		cfg.Seed = rng.TaskSeed(l.Cfg.Seed, key.Hash())
+		cfg.Workers = 1
+		f := NewLab(cfg, w)
+		for node, nc := range nodeCfgs {
+			f.Sys.SetNodeConfig(node, nc)
+		}
+		return f.MeasureIteration(true)
+	}
+	if cache := l.Cfg.EvalCache; cache != nil && l.Cfg.Telemetry == nil {
+		m, _ := cache.Do(key, compute)
+		return m
+	}
+	return compute()
+}
+
+// tierNodeConfigs expands a per-tier configuration map to the complete
+// node→configuration assignment of the lab's current layout (every node
+// of a tier gets its own clone of the tier's configuration).
+func (l *Lab) tierNodeConfigs(cfgs map[cluster.Tier]param.Config) map[int]param.Config {
+	out := make(map[int]param.Config)
+	for t, cfg := range cfgs {
+		for _, n := range l.Sys.Cluster.TierNodes(t) {
+			out[n.ID()] = cfg.Clone()
+		}
+	}
+	return out
+}
+
+// hermeticRun drives a tuning strategy through hermetic per-evaluation
+// labs: each iteration peeks the strategy's next proposal
+// (Strategy.Lookahead — non-committing), measures it via EvalConfig, and
+// commits the measurement in place of target.RunIteration
+// (Strategy.CommitStep). The authoritative lab's engine never runs, so
+// trace timestamps come from a virtual clock advancing one full iteration
+// window per committed step — the cadence an engine clock would follow.
+type hermeticRun struct {
+	lab    *Lab
+	w      tpcw.Workload
+	vt     float64 // virtual clock for trace timestamps
+	window float64
+	step   int
+}
+
+// newHermeticRun prepares a hermetic tuning run on the given lab.
+func newHermeticRun(lab *Lab, w tpcw.Workload) *hermeticRun {
+	return &hermeticRun{lab: lab, w: w, window: lab.Cfg.Warm + lab.Cfg.Measure + lab.Cfg.Cool}
+}
+
+// options attaches the virtual-clock trace observer, unless the caller
+// supplied an observer of its own. No-op when the lab has no telemetry.
+func (h *hermeticRun) options(opts harmony.Options) harmony.Options {
+	if opts.Observe == nil && opts.Observer == nil {
+		opts.Observe = specObserve(h.lab.Recorder(), &h.vt)
+	}
+	return opts
+}
+
+// Step runs one hermetic tuning iteration and returns its WIPS. The
+// telemetry unit carries the strategy epoch and the global step index,
+// matching the speculative Figure 5 runner's naming.
+func (h *hermeticRun) Step(st *harmony.Strategy) float64 {
+	props := st.Lookahead(1)
+	if len(props) == 0 {
+		panic("core: hermetic step peeked no proposal")
+	}
+	m := h.lab.EvalConfig(h.w, props[0], fmt.Sprintf("e%02d/s%05d", st.Epoch(), h.step))
+	h.vt += h.window
+	st.CommitStep(m.WIPS, m.LineWIPS)
+	h.step++
+	return m.WIPS
+}

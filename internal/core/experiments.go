@@ -32,6 +32,10 @@ type SingleWorkloadResult struct {
 // TuneWorkload runs the §III.A single-workload tuning experiment: iters
 // tuning iterations with a single Harmony server over all parameters of
 // the 1/1/1 cluster, plus baselineIters unturned iterations for reference.
+// Both the baseline windows and the tuning iterations run hermetically
+// (DESIGN.md §10): every evaluation is a fresh per-evaluation lab keyed by
+// its configuration, so re-proposed lattice points are exact repeats and
+// memoize under cfg.EvalCache.
 func TuneWorkload(cfg LabConfig, w tpcw.Workload, iters, baselineIters int, opts harmony.Options) *SingleWorkloadResult {
 	res := &SingleWorkloadResult{Workload: w}
 
@@ -41,9 +45,10 @@ func TuneWorkload(cfg LabConfig, w tpcw.Workload, iters, baselineIters int, opts
 
 	// Tuning run on a fresh, identically-seeded lab.
 	lab := NewLab(telemetrySub(cfg, "tuning"), w)
-	st := harmony.NewStrategy(harmony.StrategyDefault, lab, 0, withTrace(opts, lab))
+	h := newHermeticRun(lab, w)
+	st := harmony.NewStrategy(harmony.StrategyDefault, lab, 0, h.options(opts))
 	for i := 0; i < iters; i++ {
-		st.Step()
+		h.Step(st)
 	}
 	res.Tuning = st.Perf()
 	res.BestWIPS, _ = st.Best()
@@ -196,9 +201,15 @@ func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
 	rows := make([]Table4Row, 1+len(kinds))
 	ForEach(cfg.Workers, len(rows), func(i int) {
 		if i == 0 {
-			// Baseline: no tuning.
+			// Baseline: no tuning. At least one window must run even for
+			// iters < 4 — iters/4 == 0 would yield an empty series whose
+			// mean (and every improvement column derived from it) is NaN.
 			base := NewLab(telemetrySub(cfg, "baseline"), tpcw.Shopping)
-			baseSeries := base.MeasureConfig(DefaultConfigs(), iters/4)
+			baseIters := iters / 4
+			if baseIters < 1 {
+				baseIters = 1
+			}
+			baseSeries := base.MeasureConfig(DefaultConfigs(), baseIters)
 			rows[0] = Table4Row{
 				Method: "none",
 				WIPS:   stats.MeanOf(baseSeries),
@@ -208,9 +219,10 @@ func RunTable4(cfg LabConfig, iters int, opts harmony.Options) *Table4Result {
 		}
 		kind := kinds[i-1]
 		lab := NewLab(telemetrySub(cfg, "method:"+kind.String()), tpcw.Shopping)
-		st := harmony.NewStrategy(kind, lab, cfg.WorkLines, withTrace(opts, lab))
+		h := newHermeticRun(lab, tpcw.Shopping)
+		st := harmony.NewStrategy(kind, lab, cfg.WorkLines, h.options(opts))
 		for k := 0; k < iters; k++ {
-			st.Step()
+			h.Step(st)
 		}
 		best, _ := st.Best()
 		perf := st.Perf()

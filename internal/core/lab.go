@@ -6,7 +6,10 @@
 package core
 
 import (
+	"fmt"
+
 	"webharmony/internal/cluster"
+	"webharmony/internal/evalcache"
 	"webharmony/internal/harmony"
 	"webharmony/internal/monitor"
 	"webharmony/internal/param"
@@ -75,6 +78,18 @@ type LabConfig struct {
 	// measures.
 	Spans           bool `json:"-"`
 	SpanSampleEvery int  `json:"-"`
+
+	// EvalCache, when non-nil, memoizes hermetic evaluations (see
+	// evaluate.go and DESIGN.md §10) under their canonical content-derived
+	// keys, so exact repeats — re-proposed lattice points, repeated
+	// baseline windows, the Figure 4 matrix's re-measured (config,
+	// workload) pairs — skip re-simulation. Because an evaluation is a
+	// pure function of its key, memoization never changes any output;
+	// like Telemetry it is excluded from JSON exports and from the
+	// determinism contract's inputs. Memoization is bypassed while
+	// Telemetry is attached (a hit would skip per-evaluation recorder
+	// registration and change the telemetry byte stream).
+	EvalCache *evalcache.Cache `json:"-"`
 }
 
 // WithTelemetryUnit returns a copy of the configuration whose telemetry
@@ -340,19 +355,18 @@ func (l *Lab) LastReadings() []monitor.Reading { return l.lastReadings }
 func (l *Lab) Iterations() int { return l.iterations }
 
 // MeasureConfig applies one configuration per tier (duplicated within the
-// tier), restarts, and measures n iterations, returning the WIPS series.
-// Two discarded warm-up iterations run first so the proxy disk stores are
-// populated, matching the steady-state conditions tuning measures under.
+// tier) and measures n hermetic iteration windows, returning the WIPS
+// series. Every window is an independent per-evaluation lab under the
+// same evaluation key (DESIGN.md §10), so the series is n exact repeats
+// of one pure-function measurement — the same steady-state conditions
+// hermetic tuning measures under — and, with an EvalCache attached, costs
+// one simulation regardless of n.
 func (l *Lab) MeasureConfig(cfgs map[cluster.Tier]param.Config, n int) []float64 {
-	for t, cfg := range cfgs {
-		l.Sys.SetTierConfig(t, cfg)
-	}
-	for i := 0; i < 2; i++ {
-		l.MeasureIteration(true)
-	}
+	nodeCfgs := l.tierNodeConfigs(cfgs)
+	w := l.Driver.Workload()
 	out := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
-		m := l.MeasureIteration(true)
+		m := l.EvalConfig(w, nodeCfgs, fmt.Sprintf("m%04d", i))
 		out = append(out, m.WIPS)
 	}
 	return out

@@ -123,19 +123,19 @@ func runFigure5(cfg LabConfig, seq []tpcw.Workload, phaseLen, phases, lookahead 
 	return res, st
 }
 
-// evalFigure5Candidate measures one speculative candidate in a forked
-// lab. The fork's seed derives from the global iteration index alone, so
-// the measurement is a pure function of (parent configuration, workload,
-// step, proposal) — independent of worker count, evaluation order, and
-// whatever the authoritative engine has or has not run. The telemetry
-// unit carries the strategy epoch so a step re-evaluated after discarded
+// evalFigure5Candidate measures one speculative candidate hermetically
+// via Lab.EvalConfig: the evaluation's rng streams derive from its
+// canonical key (configuration, workload, lab shape — never the step
+// index), so the measurement is a pure function of the proposal,
+// independent of worker count, evaluation order, speculation depth, and
+// whatever the authoritative engine has or has not run. It also means a
+// re-proposed configuration is an exact repeat, so the speculative runner
+// shares the same content-addressed memo table (LabConfig.EvalCache) as
+// the sequential runners. The telemetry unit carries the strategy epoch
+// and the global step index so a step re-evaluated after discarded
 // speculation registers under a fresh recorder name.
 func evalFigure5Candidate(auth *Lab, w tpcw.Workload, step, epoch int, nodeCfgs map[int]param.Config) websim.Measurement {
-	fork := auth.Fork(uint64(step), w, fmt.Sprintf("e%02d/s%05d", epoch, step))
-	for node, nc := range nodeCfgs {
-		fork.Sys.SetNodeConfig(node, nc)
-	}
-	return fork.MeasureIteration(true)
+	return auth.EvalConfig(w, nodeCfgs, fmt.Sprintf("e%02d/s%05d", epoch, step))
 }
 
 // nodeConfigsEqual reports whether two node→configuration assignments

@@ -1,0 +1,167 @@
+package evalcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"webharmony/internal/tpcw"
+	"webharmony/internal/websim"
+)
+
+// SnapshotVersion identifies the on-disk format; Load rejects snapshots
+// written by an incompatible version.
+const SnapshotVersion = 1
+
+// Snapshot is the serializable image of a cache, for cross-run warm
+// starts (webtune -evalcache). Like harmony.Snapshot it is plain JSON;
+// entries are sorted by key so a snapshot of a given cache state is
+// byte-reproducible. Floats round-trip exactly: finite values use Go's
+// shortest-exact JSON numbers, NaN and the infinities (which plain JSON
+// cannot carry) are encoded as strings.
+type Snapshot struct {
+	Version int             `json:"version"`
+	Entries []SnapshotEntry `json:"entries"`
+}
+
+// SnapshotEntry is one memoized evaluation: the canonical key and its
+// measurement.
+type SnapshotEntry struct {
+	Key         string          `json:"key"`
+	Measurement measurementJSON `json:"measurement"`
+}
+
+// jfloat is a float64 whose JSON encoding survives NaN and ±Inf (legal
+// measurement values — an empty response-time sample has NaN
+// percentiles) by falling back to a string token for them.
+type jfloat float64
+
+// MarshalJSON encodes finite values as numbers, NaN/±Inf as strings.
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.Marshal(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both encodings.
+func (f *jfloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("evalcache: bad float token %q: %w", s, err)
+		}
+		*f = jfloat(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jfloat(v)
+	return nil
+}
+
+// measurementJSON mirrors websim.Measurement with NaN/Inf-safe floats.
+type measurementJSON struct {
+	WIPS      jfloat        `json:"wips"`
+	WIPSb     jfloat        `json:"wips_b"`
+	WIPSo     jfloat        `json:"wips_o"`
+	ErrorRate jfloat        `json:"error_rate"`
+	Counters  tpcw.Counters `json:"counters"`
+	LineWIPS  []jfloat      `json:"line_wips,omitempty"`
+	RespMean  jfloat        `json:"resp_mean"`
+	RespP50   jfloat        `json:"resp_p50"`
+	RespP90   jfloat        `json:"resp_p90"`
+	RespP99   jfloat        `json:"resp_p99"`
+}
+
+func toJSONMeasurement(m websim.Measurement) measurementJSON {
+	j := measurementJSON{
+		WIPS: jfloat(m.WIPS), WIPSb: jfloat(m.WIPSb), WIPSo: jfloat(m.WIPSo),
+		ErrorRate: jfloat(m.ErrorRate), Counters: m.Counters,
+		RespMean: jfloat(m.RespMean), RespP50: jfloat(m.RespP50),
+		RespP90: jfloat(m.RespP90), RespP99: jfloat(m.RespP99),
+	}
+	for _, v := range m.LineWIPS {
+		j.LineWIPS = append(j.LineWIPS, jfloat(v))
+	}
+	return j
+}
+
+func fromJSONMeasurement(j measurementJSON) websim.Measurement {
+	m := websim.Measurement{
+		WIPS: float64(j.WIPS), WIPSb: float64(j.WIPSb), WIPSo: float64(j.WIPSo),
+		ErrorRate: float64(j.ErrorRate), Counters: j.Counters,
+		RespMean: float64(j.RespMean), RespP50: float64(j.RespP50),
+		RespP90: float64(j.RespP90), RespP99: float64(j.RespP99),
+	}
+	for _, v := range j.LineWIPS {
+		m.LineWIPS = append(m.LineWIPS, float64(v))
+	}
+	return m
+}
+
+// Snapshot captures every settled entry, sorted by key. In-flight
+// computations (no value yet) are skipped.
+func (c *Cache) Snapshot() *Snapshot {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.entries))
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.panicked == nil {
+				keys = append(keys, k)
+			}
+		default:
+		}
+	}
+	sort.Strings(keys)
+	snap := &Snapshot{Version: SnapshotVersion}
+	for _, k := range keys {
+		snap.Entries = append(snap.Entries, SnapshotEntry{
+			Key:         k,
+			Measurement: toJSONMeasurement(c.entries[k].m),
+		})
+	}
+	c.mu.Unlock()
+	return snap
+}
+
+// Marshal renders the snapshot as indented JSON.
+func (snap *Snapshot) Marshal() ([]byte, error) {
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// LoadSnapshot parses a snapshot previously produced by Marshal.
+func LoadSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("evalcache: bad snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("evalcache: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	return &snap, nil
+}
+
+// AddSnapshot warm-starts the cache with the snapshot's entries and
+// returns how many were added (existing keys are kept, not overwritten —
+// an entry computed this run is exactly as authoritative as a stored
+// one, because both are pure functions of the key).
+func (c *Cache) AddSnapshot(snap *Snapshot) int {
+	added := 0
+	for _, e := range snap.Entries {
+		if c.add(e.Key, fromJSONMeasurement(e.Measurement)) {
+			added++
+		}
+	}
+	return added
+}

@@ -1,0 +1,151 @@
+package evalcache
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"webharmony/internal/tpcw"
+	"webharmony/internal/websim"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New()
+	specs := []Spec{testSpec()}
+	s2 := testSpec()
+	s2.Seed++
+	specs = append(specs, s2)
+	var counters tpcw.Counters
+	counters.Completed[0] = 41
+	counters.Browse, counters.Order, counters.Errors = 40, 1, 2
+	ms := []websim.Measurement{
+		{WIPS: 123.456789012345, WIPSb: 100, WIPSo: 23, ErrorRate: 1.0 / 3.0,
+			Counters: counters, LineWIPS: []float64{61.5, 61.5},
+			RespMean: 0.25, RespP50: 0.125, RespP90: 0.5, RespP99: 1.5},
+		{WIPS: 0, RespMean: math.NaN(), RespP50: math.NaN(),
+			RespP90: math.Inf(1), RespP99: math.Inf(-1)},
+	}
+	for i, spec := range specs {
+		m := ms[i]
+		c.Do(spec.Key(), func() websim.Measurement { return m })
+	}
+
+	data, err := c.Snapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	if added := fresh.AddSnapshot(snap); added != 2 {
+		t.Fatalf("AddSnapshot added %d, want 2", added)
+	}
+	for i, spec := range specs {
+		got, cached := fresh.Do(spec.Key(), func() websim.Measurement { panic("must not recompute") })
+		if !cached {
+			t.Fatalf("entry %d not restored", i)
+		}
+		if !measurementsEqual(got, ms[i]) {
+			t.Fatalf("entry %d round-trip mismatch:\n got %+v\nwant %+v", i, got, ms[i])
+		}
+	}
+}
+
+// measurementsEqual compares with NaN==NaN semantics (exact bits
+// otherwise — the round-trip must not lose precision).
+func measurementsEqual(a, b websim.Measurement) bool {
+	feq := func(x, y float64) bool {
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return true
+		}
+		return x == y
+	}
+	if !feq(a.WIPS, b.WIPS) || !feq(a.WIPSb, b.WIPSb) || !feq(a.WIPSo, b.WIPSo) ||
+		!feq(a.ErrorRate, b.ErrorRate) || !feq(a.RespMean, b.RespMean) ||
+		!feq(a.RespP50, b.RespP50) || !feq(a.RespP90, b.RespP90) || !feq(a.RespP99, b.RespP99) {
+		return false
+	}
+	if a.Counters != b.Counters || len(a.LineWIPS) != len(b.LineWIPS) {
+		return false
+	}
+	for i := range a.LineWIPS {
+		if !feq(a.LineWIPS[i], b.LineWIPS[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotByteStable checks two snapshots of the same logical state
+// marshal identically even when entries were inserted in opposite order.
+func TestSnapshotByteStable(t *testing.T) {
+	build := func(order []int) []byte {
+		c := New()
+		for _, i := range order {
+			s := testSpec()
+			s.Seed = uint64(i)
+			m := testMeasurement(float64(i))
+			c.Do(s.Key(), func() websim.Measurement { return m })
+		}
+		data, err := c.Snapshot().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := build([]int{1, 2, 3})
+	b := build([]int{3, 1, 2})
+	if string(a) != string(b) {
+		t.Fatalf("insertion order changed the snapshot bytes:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestLoadSnapshotRejectsBadInput(t *testing.T) {
+	if _, err := LoadSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := LoadSnapshot([]byte(`{"version": 999, "entries": []}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version accepted: %v", err)
+	}
+	if _, err := LoadSnapshot([]byte(`{"version": 1, "entries": [{"key": "k", "measurement": {"wips": "zzz"}}]}`)); err == nil {
+		t.Fatal("bad float token accepted")
+	}
+}
+
+// TestAddSnapshotExistingWins checks a live entry survives a warm start
+// carrying the same key.
+func TestAddSnapshotExistingWins(t *testing.T) {
+	c := New()
+	key := testSpec().Key()
+	c.Do(key, func() websim.Measurement { return testMeasurement(100) })
+	snap := c.Snapshot()
+	snap.Entries[0].Measurement.WIPS = 999
+	if added := c.AddSnapshot(snap); added != 0 {
+		t.Fatalf("AddSnapshot replaced %d live entries", added)
+	}
+	m, _ := c.Do(key, func() websim.Measurement { panic("must not recompute") })
+	if m.WIPS != 100 {
+		t.Fatalf("live entry overwritten: wips=%v", m.WIPS)
+	}
+}
+
+// TestSnapshotSkipsInFlight checks an unfinished computation never
+// reaches the snapshot.
+func TestSnapshotSkipsInFlight(t *testing.T) {
+	c := New()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(testSpec().Key(), func() websim.Measurement {
+		close(entered)
+		<-release
+		return testMeasurement(1)
+	})
+	<-entered
+	if snap := c.Snapshot(); len(snap.Entries) != 0 {
+		t.Fatalf("in-flight entry snapshotted: %d entries", len(snap.Entries))
+	}
+	close(release)
+}

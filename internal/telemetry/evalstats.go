@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// EvalStats is the evaluation-memoization counter set a run reports via
+// `webtune -evalstats`. It is field-compatible with evalcache.Stats so
+// the CLI converts with a plain type conversion; telemetry keeps its own
+// copy of the type rather than importing the cache, because the
+// observability layer reports on the run — it never participates in it.
+type EvalStats struct {
+	Lookups uint64
+	Hits    uint64
+	Misses  uint64
+	Entries uint64
+	Bytes   uint64
+}
+
+// HitRate returns Hits/Lookups, or 0 before the first lookup.
+func (s EvalStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// WriteEvalStats writes the counters as a fixed-layout, byte-stable
+// report. All counts are deterministic at any worker count (see
+// internal/evalcache), so two runs of the same experiment produce
+// identical reports.
+func WriteEvalStats(w io.Writer, s EvalStats) error {
+	_, err := fmt.Fprintf(w,
+		"evalcache lookups=%d hits=%d misses=%d entries=%d bytes=%d hit_rate=%.4f\n",
+		s.Lookups, s.Hits, s.Misses, s.Entries, s.Bytes, s.HitRate())
+	return err
+}
+
+// SetEvalStats stores the run's final cache counters on the collector so
+// exporters can ship them alongside traces and metrics.
+func (c *Collector) SetEvalStats(s EvalStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evalStats = &s
+}
+
+// EvalStats returns the stored counters and whether any were set.
+func (c *Collector) EvalStats() (EvalStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.evalStats == nil {
+		return EvalStats{}, false
+	}
+	return *c.evalStats, true
+}
+
+// WriteEvalStats writes the stored counters; without any it writes
+// nothing and reports no error, mirroring the other writers' behavior on
+// an empty collector.
+func (c *Collector) WriteEvalStats(w io.Writer) error {
+	s, ok := c.EvalStats()
+	if !ok {
+		return nil
+	}
+	return WriteEvalStats(w, s)
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteEvalStats(t *testing.T) {
+	var b strings.Builder
+	s := EvalStats{Lookups: 68, Hits: 22, Misses: 46, Entries: 46, Bytes: 25354}
+	if err := WriteEvalStats(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := "evalcache lookups=68 hits=22 misses=46 entries=46 bytes=25354 hit_rate=0.3235\n"
+	if b.String() != want {
+		t.Errorf("WriteEvalStats = %q, want %q", b.String(), want)
+	}
+}
+
+func TestEvalStatsHitRate(t *testing.T) {
+	if got := (EvalStats{}).HitRate(); got != 0 {
+		t.Errorf("zero-lookup HitRate = %v, want 0", got)
+	}
+	if got := (EvalStats{Lookups: 4, Hits: 3}).HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", got)
+	}
+}
+
+func TestCollectorEvalStats(t *testing.T) {
+	c := NewCollector()
+	if _, ok := c.EvalStats(); ok {
+		t.Fatal("fresh collector reports stored stats")
+	}
+	var b strings.Builder
+	if err := c.WriteEvalStats(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("empty collector wrote %q (err %v), want nothing", b.String(), err)
+	}
+	s := EvalStats{Lookups: 10, Hits: 4, Misses: 6, Entries: 6, Bytes: 100}
+	c.SetEvalStats(s)
+	got, ok := c.EvalStats()
+	if !ok || got != s {
+		t.Fatalf("EvalStats = %+v ok=%v, want %+v", got, ok, s)
+	}
+	if err := c.WriteEvalStats(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lookups=10") || !strings.Contains(b.String(), "hit_rate=0.4000") {
+		t.Errorf("collector WriteEvalStats = %q", b.String())
+	}
+}

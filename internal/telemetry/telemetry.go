@@ -140,8 +140,9 @@ type recorderKey struct {
 // registration is safe to call from the worker pool; the writers must run
 // after the experiments finish (the CLI writes once at exit).
 type Collector struct {
-	mu   sync.Mutex
-	recs map[recorderKey]*Recorder
+	mu        sync.Mutex
+	recs      map[recorderKey]*Recorder
+	evalStats *EvalStats
 }
 
 // NewCollector creates an empty collector.

@@ -14,7 +14,7 @@
 #      a deliberately loose margin that absorbs machine-speed spread
 #      across CI runners while still catching order-of-magnitude
 #      regressions of the event-loop and pooled-pipeline wins;
-#   3. writes every benchmark result in the log to BENCH_9.json
+#   3. writes every benchmark result in the log to BENCH_10.json
 #      (override the path with $BENCH_JSON) as
 #      `name -> {ns_op, allocs_op, bytes_op}`, so the perf history is
 #      tracked across PRs, not just gated.
@@ -24,13 +24,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=scripts/bench_baseline.txt
-json_out=${BENCH_JSON:-BENCH_9.json}
+json_out=${BENCH_JSON:-BENCH_10.json}
 log=${1:-}
 
 if [ -n "$log" ]; then
   out=$(cat "$log")
 else
-  out=$(go test -run '^$' -bench 'BenchmarkFigure5Responsiveness' \
+  out=$(go test -run '^$' \
+    -bench 'BenchmarkFigure5Responsiveness|BenchmarkFigure4Memoized|BenchmarkTable4Memoized' \
     -benchtime 1x -benchmem .)
   echo "$out"
 fi

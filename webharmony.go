@@ -22,7 +22,10 @@
 package webharmony
 
 import (
+	"io"
+
 	"webharmony/internal/core"
+	"webharmony/internal/evalcache"
 	"webharmony/internal/harmony"
 	"webharmony/internal/param"
 	"webharmony/internal/telemetry"
@@ -58,8 +61,40 @@ type TelemetryEvent = telemetry.Event
 // TelemetrySample is one per-tier metrics observation.
 type TelemetrySample = telemetry.Sample
 
+// TelemetryEvalStats is the evaluation-cache counter set as the telemetry
+// layer carries it; convert an EvalCacheStats with a plain conversion.
+type TelemetryEvalStats = telemetry.EvalStats
+
 // NewTelemetryCollector creates an empty telemetry collector.
 func NewTelemetryCollector() *TelemetryCollector { return telemetry.NewCollector() }
+
+// EvalCache is the content-addressed memo table for hermetic evaluations.
+// Assign one to LabConfig.EvalCache and the sequential experiment runners
+// (TuneWorkload, RunFigure4, RunTable4, RunFigure5, the sweeps) skip
+// re-simulating configurations they have already measured; results are
+// byte-identical with and without the cache (DESIGN.md §10).
+type EvalCache = evalcache.Cache
+
+// EvalCacheStats is the cache's deterministic counter set.
+type EvalCacheStats = evalcache.Stats
+
+// EvalCacheSnapshot is the serializable image of an EvalCache, for
+// cross-run warm starts (webtune -evalcache).
+type EvalCacheSnapshot = evalcache.Snapshot
+
+// NewEvalCache creates an empty evaluation cache.
+func NewEvalCache() *EvalCache { return evalcache.New() }
+
+// LoadEvalCacheSnapshot parses a snapshot previously produced by
+// EvalCacheSnapshot.Marshal.
+func LoadEvalCacheSnapshot(data []byte) (*EvalCacheSnapshot, error) {
+	return evalcache.LoadSnapshot(data)
+}
+
+// WriteEvalStats writes the cache counters as a fixed-layout report.
+func WriteEvalStats(w io.Writer, s EvalCacheStats) error {
+	return telemetry.WriteEvalStats(w, telemetry.EvalStats(s))
+}
 
 // PaperLab returns the paper's full-size setup (100/1000/100 s windows).
 func PaperLab() LabConfig { return core.PaperLab() }
